@@ -1,0 +1,170 @@
+// Benchmarks: one per paper artifact (Table 1 setup cost, Figures 3–7,
+// Theorem 1) plus microbenchmarks of the substrate. Each figure bench
+// runs its experiment end-to-end at reduced scale, so `go test -bench=.`
+// regenerates a quick version of the whole evaluation; use
+// cmd/experiments for full fidelity.
+package main
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	"dcpim/internal/core"
+	"dcpim/internal/experiments"
+	"dcpim/internal/matching"
+	"dcpim/internal/netsim"
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+	"dcpim/internal/stats"
+	"dcpim/internal/topo"
+	"dcpim/internal/workload"
+)
+
+// benchOpts shrinks experiments to benchmark-friendly scale.
+func benchOpts() experiments.Options {
+	return experiments.Options{Seed: 1, Scale: 0.05, Hosts: 8}
+}
+
+func benchExperiment(b *testing.B, id string, opt experiments.Options) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = int64(i + 1)
+		if err := e.Run(opt, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Theorem 1 ----
+
+func BenchmarkTheorem1(b *testing.B) { benchExperiment(b, "theorem1", benchOpts()) }
+
+// ---- Figure 3 ----
+
+func BenchmarkFig3aMaxLoad(b *testing.B)       { benchExperiment(b, "fig3a", benchOpts()) }
+func BenchmarkFig3bMeanSlowdown(b *testing.B)  { benchExperiment(b, "fig3b", benchOpts()) }
+func BenchmarkFig3cdeSizeBuckets(b *testing.B) { benchExperiment(b, "fig3cde", benchOpts()) }
+
+// ---- Figure 4 ----
+
+func BenchmarkFig4aBurstyMicrobench(b *testing.B) {
+	o := benchOpts()
+	o.Hosts = 0 // needs ≥3 racks
+	o.Scale = 0.15
+	benchExperiment(b, "fig4a", o)
+}
+
+func BenchmarkFig4bWorstCaseBDP1(b *testing.B) { benchExperiment(b, "fig4b", benchOpts()) }
+func BenchmarkFig4cDenseTM(b *testing.B)       { benchExperiment(b, "fig4c", benchOpts()) }
+
+// ---- Figure 5 ----
+
+func BenchmarkFig5abOversubscribed(b *testing.B) { benchExperiment(b, "fig5ab", benchOpts()) }
+func BenchmarkFig5cdFatTree(b *testing.B)        { benchExperiment(b, "fig5cd", benchOpts()) }
+
+// ---- Figure 6 ----
+
+func BenchmarkFig6Sensitivity(b *testing.B) { benchExperiment(b, "fig6", benchOpts()) }
+
+// ---- Figure 7 ----
+
+func BenchmarkFig7Testbed(b *testing.B) {
+	o := benchOpts()
+	o.Scale = 0.02
+	benchExperiment(b, "fig7", o)
+}
+
+// ---- §5 and ablations ----
+
+func BenchmarkFastpassComparison(b *testing.B) { benchExperiment(b, "fastpass", benchOpts()) }
+func BenchmarkAblations(b *testing.B)          { benchExperiment(b, "ablation", benchOpts()) }
+
+// ---- Substrate microbenchmarks ----
+
+// BenchmarkPIMMatching measures the abstract matching algorithm at the
+// paper's scale (144 hosts, sparse).
+func BenchmarkPIMMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := matching.RandomGraph(rng, 144, 144, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.PIM(g, 4, rng)
+	}
+}
+
+// BenchmarkChannelMatching measures the k-channel variant.
+func BenchmarkChannelMatching(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := matching.RandomGraph(rng, 144, 144, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matching.ChannelMatch(g, 4, 4, rng, matching.ChannelOptions{})
+	}
+}
+
+// BenchmarkFabricForwarding measures raw fabric throughput: packets per
+// second the simulator pushes through a loaded leaf-spine.
+func BenchmarkFabricForwarding(b *testing.B) {
+	eng := sim.NewEngine(1)
+	tp := topo.SmallLeafSpine().Build()
+	fab := netsim.New(eng, tp, netsim.Config{Spray: true})
+	for i := 0; i < tp.NumHosts; i++ {
+		fab.AttachProtocol(i, nopProto{})
+	}
+	fab.Start()
+	b.ResetTimer()
+	sent := 0
+	for i := 0; i < b.N; i++ {
+		src := i % 8
+		dst := (i + 1) % 8
+		fab.Host(src).Send(packet.NewData(src, dst, uint64(i), 0, packet.MTU, packet.PrioShort))
+		sent++
+		if sent%64 == 0 {
+			eng.RunAll()
+		}
+	}
+	eng.RunAll()
+}
+
+type nopProto struct{}
+
+func (nopProto) Start(*netsim.Host)          {}
+func (nopProto) OnFlowArrival(workload.Flow) {}
+func (nopProto) OnPacket(*packet.Packet)     {}
+
+// BenchmarkDcPIMEndToEnd measures full dcPIM simulation cost: simulated
+// microseconds per wall second on an 8-host fabric at load 0.6.
+func BenchmarkDcPIMEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(int64(i + 1))
+		tp := topo.SmallLeafSpine().Build()
+		fab := netsim.New(eng, tp, netsim.Config{Spray: true})
+		col := stats.NewCollector(0)
+		core.Attach(fab, core.DefaultConfig(), col)
+		fab.Start()
+		tr := workload.AllToAllConfig{
+			Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.6,
+			Dist: workload.IMC10(), Horizon: 200 * sim.Microsecond, Seed: int64(i),
+		}.Generate()
+		fab.Inject(tr)
+		eng.Run(sim.Time(300 * sim.Microsecond))
+	}
+}
+
+// BenchmarkWorkloadGeneration measures trace generation throughput.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	dist := workload.WebSearch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		workload.AllToAllConfig{
+			Hosts: 144, HostRate: 100e9, Load: 0.6,
+			Dist: dist, Horizon: 100 * sim.Microsecond, Seed: int64(i),
+		}.Generate()
+	}
+}

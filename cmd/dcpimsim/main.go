@@ -1,0 +1,139 @@
+// Command dcpimsim runs one packet-level simulation: pick a topology, a
+// workload, a traffic load and a transport protocol, and get completion,
+// utilization and slowdown statistics.
+//
+// Usage:
+//
+//	dcpimsim -protocol dcpim -topo leafspine -workload imc10 -load 0.6 -horizon 1000
+//	dcpimsim -protocol hpcc -topo oversub -workload websearch -load 0.5
+//	dcpimsim -protocol dctcp -topo testbed -workload datamining -load 0.5 -horizon 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dcpim/internal/experiments"
+	"dcpim/internal/sim"
+	"dcpim/internal/stats"
+	"dcpim/internal/topo"
+	"dcpim/internal/workload"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func buildTopo(name string) *topo.Topology {
+	switch strings.ToLower(name) {
+	case "leafspine":
+		return topo.DefaultLeafSpine().Build()
+	case "small":
+		return topo.SmallLeafSpine().Build()
+	case "oversub":
+		return topo.OversubscribedLeafSpine().Build()
+	case "fattree":
+		return topo.DefaultFatTree().Build()
+	case "fattree16":
+		return topo.SmallFatTree().Build()
+	case "testbed":
+		return topo.TestbedLeafSpine().Build()
+	default:
+		fail("unknown topology %q (leafspine|small|oversub|fattree|fattree16|testbed)", name)
+		return nil
+	}
+}
+
+func main() {
+	var (
+		proto    = flag.String("protocol", "dcpim", "dcpim|homa-aeolus|homa|ndp|hpcc|phost|fastpass|dctcp|cubic")
+		topoName = flag.String("topo", "leafspine", "leafspine|small|oversub|fattree|fattree16|testbed")
+		wl       = flag.String("workload", "imc10", "imc10|websearch|datamining")
+		load     = flag.Float64("load", 0.6, "offered load as a fraction of access bandwidth")
+		horizon  = flag.Float64("horizon", 1000, "trace horizon in microseconds (run adds 50% drain)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csvDir   = flag.String("csv", "", "directory to write flows.csv/utilization.csv/buckets.csv (optional)")
+	)
+	flag.Parse()
+
+	tp := buildTopo(*topoName)
+	dist, err := workload.ByName(*wl)
+	if err != nil {
+		fail("%v", err)
+	}
+	h := sim.FromMicroseconds(*horizon)
+	tr := workload.AllToAllConfig{
+		Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: *load,
+		Dist: dist, Horizon: h, Seed: *seed,
+	}.Generate()
+
+	fmt.Printf("topology %s: %d hosts, BDP %d B, data RTT %v, ctrl RTT %v\n",
+		tp.Name, tp.NumHosts, tp.BDP(), tp.DataRTT(), tp.CtrlRTT())
+	fmt.Printf("workload %s at load %.2f: %d flows, %.1f MB offered over %v\n\n",
+		dist.Name(), *load, len(tr.Flows), float64(tr.OfferedBytes)/1e6, h)
+
+	res := experiments.Run(experiments.RunSpec{
+		Protocol: *proto, Topo: tp, Trace: tr,
+		Horizon: h + h/2, Seed: *seed + 1,
+	})
+
+	fmt.Printf("protocol %s:\n", *proto)
+	fmt.Printf("  completed   %d/%d flows (%.1f%%)\n",
+		res.Col.Completed(), res.Started, 100*res.Completion())
+	fmt.Printf("  goodput     %.1f MB delivered (%.1f%% of offered)\n",
+		float64(res.Col.DeliveredBytes())/1e6, 100*res.Utilization())
+	fmt.Printf("  drops=%d trims=%d aeolus-drops=%d ecn-marks=%d pfc-pauses=%d\n\n",
+		res.Counters.DataDrops, res.Counters.Trims, res.Counters.AeolusDrops,
+		res.Counters.ECNMarks, res.Counters.PFCPauses)
+
+	buckets := stats.BucketSlowdowns(res.Records, stats.DefaultBuckets(tp.BDP()))
+	fmt.Printf("  %-14s %8s %8s %8s %8s\n", "size bucket", "count", "mean", "p99", "max")
+	for _, b := range buckets {
+		if b.Summary.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s %8d %8.2f %8.2f %8.2f\n",
+			b.Label, b.Summary.Count, b.Summary.Mean, b.Summary.P99, b.Summary.Max)
+	}
+	all := stats.Summarize(res.Records, nil)
+	fmt.Printf("  %-14s %8d %8.2f %8.2f %8.2f\n", "all", all.Count, all.Mean, all.P99, all.Max)
+
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, res, buckets, tp.NumHosts, tp.HostRate); err != nil {
+			fail("writing CSVs: %v", err)
+		}
+		fmt.Printf("\nwrote flows.csv, utilization.csv, buckets.csv to %s\n", *csvDir)
+	}
+}
+
+// writeCSVs exports the run's raw data for external plotting.
+func writeCSVs(dir string, res experiments.RunResult, buckets []stats.SizeBucket, hosts int, rate float64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, fn func(w *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	if err := write("flows.csv", func(f *os.File) error {
+		return stats.WriteRecordsCSV(f, res.Records)
+	}); err != nil {
+		return err
+	}
+	if err := write("utilization.csv", func(f *os.File) error {
+		return stats.WriteUtilizationCSV(f, res.Col.UtilizationSeries(hosts, rate), 10)
+	}); err != nil {
+		return err
+	}
+	return write("buckets.csv", func(f *os.File) error {
+		return stats.WriteBucketsCSV(f, buckets)
+	})
+}

@@ -1,0 +1,68 @@
+// Command experiments regenerates the dcPIM paper's evaluation artifacts
+// (every table and figure of §4). Each experiment prints the rows or
+// series the paper plots.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig3a
+//	experiments -run all -scale 0.25      # quicker, lower-fidelity pass
+//	experiments -run fig5cd -hosts 16     # scaled-down topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dcpim/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment id to run, or 'all'")
+		list  = flag.Bool("list", false, "list experiments")
+		seed  = flag.Int64("seed", 1, "random seed")
+		scale = flag.Float64("scale", 1, "horizon scale factor (1 = paper fidelity)")
+		hosts = flag.Int("hosts", 0, "topology size override (0 = paper size)")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
+		}
+		if *run == "" {
+			fmt.Println("\nrun one with: experiments -run <id>   (or -run all)")
+		}
+		return
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Hosts: *hosts}
+	var todo []experiments.Experiment
+	if *run == "all" {
+		todo = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *run)
+			os.Exit(2)
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s wall time)\n", time.Since(start).Round(time.Millisecond))
+	}
+}

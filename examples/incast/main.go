@@ -1,0 +1,66 @@
+// Incast: the paper's motivating stress scenario — a parameter-server
+// style 50:1 incast colocated with a MapReduce-style shuffle (Figure 4a).
+// The example runs dcPIM and Homa Aeolus side by side on the 144-host
+// leaf-spine and prints the utilization timeline of the loaded rack so
+// you can watch dcPIM's matching absorb the bursts.
+package main
+
+import (
+	"fmt"
+
+	"dcpim/internal/experiments"
+	"dcpim/internal/sim"
+	"dcpim/internal/topo"
+	"dcpim/internal/workload"
+)
+
+func main() {
+	tp := topo.DefaultLeafSpine().Build()
+	horizon := 600 * sim.Microsecond
+
+	// Shuffle: rack 0's 16 hosts send all-to-all to rack 1's 16 hosts.
+	senders := make([]int, 16)
+	receivers := make([]int, 16)
+	for i := range senders {
+		senders[i], receivers[i] = i, 16+i
+	}
+	var others []int
+	for h := 32; h < tp.NumHosts; h++ {
+		others = append(others, h)
+	}
+	shuffle := workload.SubsetAllToAll{
+		Senders: senders, Receivers: receivers,
+		HostRate: tp.HostRate, Load: 0.9,
+		Dist:    workload.FixedDist{Size: 500 << 10, Tag: "shuffle"},
+		Horizon: horizon, Seed: 7,
+	}.Generate()
+
+	// Incast: every 100 µs, 50 of the other hosts blast 128 KB at one
+	// of the shuffle receivers.
+	incast := workload.IncastConfig{
+		Senders: others, Receivers: receivers[:1], Fanin: 50,
+		BurstSize: 128 << 10, Interval: 100 * sim.Microsecond,
+		Bursts: 6, Horizon: horizon, Seed: 8,
+	}.Generate()
+	trace := workload.Merge(shuffle, incast)
+
+	fmt.Printf("bursty microbenchmark on %s: %d shuffle+incast flows, %.1f MB\n\n",
+		tp.Name, len(trace.Flows), float64(trace.OfferedBytes)/1e6)
+
+	for _, proto := range []string{experiments.DCPIM, experiments.HomaAeolus} {
+		res := experiments.Run(experiments.RunSpec{
+			Protocol: proto, Topo: tp, Trace: trace,
+			Horizon: horizon, Seed: 9, BinWidth: 50 * sim.Microsecond,
+		})
+		series := res.Col.UtilizationSeries(16, tp.HostRate) // 16 loaded downlinks
+		fmt.Printf("%-12s drops=%-5d aeolus-drops=%-5d  utilization per 50us:\n  ",
+			proto, res.Counters.DataDrops, res.Counters.AeolusDrops)
+		for _, u := range series {
+			fmt.Printf("%4.2f ", u)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+	fmt.Println("expected shape: dcPIM converges within tens of µs and holds high utilization;")
+	fmt.Println("Homa Aeolus sheds unscheduled incast packets and converges more slowly.")
+}

@@ -1,0 +1,70 @@
+// Matching: a standalone walk through the paper's theory, no packet
+// simulation involved. It reruns Figure 1's 4×4 PIM example, then
+// demonstrates Theorem 1 numerically: on sparse graphs, a constant number
+// of rounds reaches almost the converged matching size, independent of n.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcpim/internal/matching"
+)
+
+func main() {
+	// ---- Figure 1's example ----
+	// Inputs (senders): blue(0)→{1,3,4}, red(1)→{2,4}, green(2)→{1},
+	// yellow(3)→{1,3}; outputs 1..4 are receivers 0..3 here.
+	g, err := matching.NewGraph(4, 4, [][]int{{0, 2, 3}, {1, 3}, {0}, {0, 2}})
+	if err != nil {
+		panic(err)
+	}
+	names := []string{"blue", "red", "green", "yellow"}
+	m := matching.ConvergedPIM(g, rand.New(rand.NewSource(3)))
+	fmt.Println("Figure 1 example, PIM run to convergence:")
+	for s, r := range m.ReceiverOf {
+		if r >= 0 {
+			fmt.Printf("  %-6s matched to output %d\n", names[s], r+1)
+		} else {
+			fmt.Printf("  %-6s unmatched\n", names[s])
+		}
+	}
+	fmt.Printf("  matching size %d (the paper's walkthrough lands on 3; other\n", m.Size())
+	fmt.Println("  random choices, like this seed's, reach the perfect matching of 4)")
+	fmt.Println()
+
+	// ---- Theorem 1, numerically ----
+	// δ̄ = 5 across three network sizes: the fraction of M* reached after
+	// r rounds is essentially independent of n.
+	fmt.Println("Theorem 1: matched fraction of M* after r rounds (avg degree 5):")
+	fmt.Printf("  %-8s", "n")
+	for _, r := range []int{1, 2, 3, 4} {
+		fmt.Printf("  r=%-6d", r)
+	}
+	fmt.Printf("  bound(r=4)\n")
+	for _, n := range []int{256, 1024, 4096} {
+		fmt.Printf("  %-8d", n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		g := matching.RandomGraph(rng, n, n, 5)
+		mStar := matching.ConvergedPIM(g, rand.New(rand.NewSource(1))).Size()
+		for _, r := range []int{1, 2, 3, 4} {
+			mr := matching.PIM(g, r, rand.New(rand.NewSource(2))).Size()
+			fmt.Printf("  %-8.3f", float64(mr)/float64(mStar))
+		}
+		alpha := float64(n) / float64(mStar)
+		fmt.Printf("  %.3f\n", matching.TheoremBound(g.AvgDegree(), alpha, 4))
+	}
+
+	// ---- Multi-channel matching (§3.4) ----
+	// With per-edge demand of one channel (flows barely above 1 BDP),
+	// k channels admit k× more concurrent pairs.
+	fmt.Println("\nMulti-channel matching with unit demands (144 hosts, avg degree 4):")
+	rng := rand.New(rand.NewSource(9))
+	g2 := matching.RandomGraph(rng, 144, 144, 4)
+	for _, k := range []int{1, 2, 4} {
+		cm := matching.ChannelMatch(g2, 4, k, rand.New(rand.NewSource(5)), matching.ChannelOptions{
+			Demand: func(s, r int) int { return 1 },
+		})
+		fmt.Printf("  k=%d: %3d matched sender-receiver pairs\n", k, cm.TotalChannels())
+	}
+}

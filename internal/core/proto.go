@@ -1,0 +1,143 @@
+package core
+
+import (
+	"dcpim/internal/netsim"
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+	"dcpim/internal/stats"
+	"dcpim/internal/workload"
+)
+
+// Proto is one host's dcPIM instance: it plays both the sender and the
+// receiver role simultaneously. It implements netsim.Protocol.
+type Proto struct {
+	cfg Config
+	tm  timing
+	col *stats.Collector
+
+	host *netsim.Host
+	eng  *sim.Engine
+	id   int
+
+	tick  int64 // stage ticks elapsed
+	epoch int64 // current epoch (data phase) index
+
+	snd sender
+	rcv receiver
+}
+
+// New returns an unattached dcPIM host protocol. The same Config and
+// Collector are normally shared across all hosts of a fabric (see Attach).
+func New(cfg Config, col *stats.Collector) *Proto {
+	if cfg.Rounds < 1 || cfg.Channels < 1 || cfg.Beta <= 0 {
+		panic("core: invalid dcPIM config")
+	}
+	return &Proto{cfg: cfg, col: col}
+}
+
+// Attach creates a dcPIM instance on every host of the fabric, all sharing
+// cfg and col, and returns them.
+func Attach(fab *netsim.Fabric, cfg Config, col *stats.Collector) []*Proto {
+	protos := make([]*Proto, fab.Topology().NumHosts)
+	for i := range protos {
+		protos[i] = New(cfg, col)
+		fab.AttachProtocol(i, protos[i])
+	}
+	return protos
+}
+
+// Start implements netsim.Protocol: derives timing from the topology and
+// launches the per-stage ticker driving the matching state machine.
+func (p *Proto) Start(h *netsim.Host) {
+	p.host = h
+	p.eng = h.Engine()
+	p.id = h.ID()
+	p.tm = deriveTiming(p.cfg, h.Topo())
+	p.snd.init(p)
+	p.rcv.init(p)
+	p.epoch = -1 // first onStage call (tick 0) opens epoch 0
+	start := sim.Time(0)
+	if p.cfg.MaxClockSkew > 0 {
+		start = start.Add(sim.Duration(p.eng.Rand().Int63n(int64(p.cfg.MaxClockSkew))))
+	}
+	p.eng.Schedule(start, p.onStage)
+}
+
+// Timing exposes derived protocol timing (tests and experiments).
+func (p *Proto) Timing() struct {
+	StageLen, EpochLen sim.Duration
+	ChannelBytes       int64
+	ShortThresh        int64
+} {
+	return struct {
+		StageLen, EpochLen sim.Duration
+		ChannelBytes       int64
+		ShortThresh        int64
+	}{p.tm.stageLen, p.tm.epochLen, p.tm.channelBytes, p.tm.shortThresh}
+}
+
+// onStage fires every stage length; stage index cycles through the 2r+1
+// stages of the pipelined matching phase. Each host uses only its local
+// clock (§3.5 asynchronous design).
+func (p *Proto) onStage() {
+	stage := int(p.tick % int64(p.tm.stages))
+	if stage == 0 {
+		p.epoch++
+		p.snd.onEpochStart(p.epoch)
+		p.rcv.onEpochStart(p.epoch)
+	}
+	// The matching being computed during epoch e serves the data phase of
+	// epoch e+1.
+	matchEpoch := p.epoch + 1
+	if stage%2 == 0 {
+		round := stage / 2
+		if round > 0 {
+			p.rcv.acceptStage(matchEpoch, round-1)
+		}
+		if round < p.cfg.Rounds {
+			p.rcv.requestStage(matchEpoch, round)
+		}
+	} else {
+		round := (stage - 1) / 2
+		p.snd.grantStage(matchEpoch, round)
+	}
+	p.tick++
+	p.eng.After(p.tm.stageLen, p.onStage)
+}
+
+// OnFlowArrival implements netsim.Protocol (sender role).
+func (p *Proto) OnFlowArrival(f workload.Flow) {
+	p.col.FlowStarted()
+	p.snd.flowArrival(f)
+}
+
+// OnPacket implements netsim.Protocol, dispatching by kind to the sender
+// or receiver half.
+func (p *Proto) OnPacket(pkt *packet.Packet) {
+	switch pkt.Kind {
+	case packet.Data:
+		p.rcv.onData(pkt)
+	case packet.Notification:
+		p.rcv.onNotification(pkt)
+	case packet.FinishSender:
+		p.rcv.onFinishSender(pkt)
+	case packet.RTS:
+		p.snd.onRTS(pkt)
+	case packet.Accept:
+		p.snd.onAccept(pkt)
+	case packet.Token:
+		p.snd.onToken(pkt)
+	case packet.NotificationAck:
+		p.snd.onNotificationAck(pkt)
+	case packet.FinishReceiver:
+		p.snd.onFinishReceiver(pkt)
+	case packet.Grant:
+		p.rcv.onGrant(pkt)
+	}
+}
+
+// send stamps and transmits a packet from this host.
+func (p *Proto) send(pkt *packet.Packet) {
+	pkt.Src = p.id
+	p.host.Send(pkt)
+}

@@ -1,0 +1,469 @@
+package core
+
+import (
+	"sort"
+
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+	"dcpim/internal/stats"
+)
+
+// seq states within a receiver flow.
+const (
+	seqUntokened uint8 = iota // needs admission (or unsolicited arrival)
+	seqTokened                // token sent, data not yet received
+	seqReceived
+)
+
+// recvFlow is the receiver-side state of one flow.
+type recvFlow struct {
+	id      uint64
+	src     int
+	size    int64
+	arrival sim.Time
+	npkts   int
+	short   bool
+
+	state        []uint8
+	tokened      []tokenRef // FIFO of issued tokens (lazy cleanup)
+	retx         []int      // reverted seqs awaiting re-admission
+	nextNew      int        // lowest never-tokened seq
+	outstanding  int        // live tokens (sent, data not received)
+	untokenedCnt int
+	receivedCnt  int
+	receivedByte int64
+
+	eligible bool // participates in matching demand
+	done     bool
+}
+
+type tokenRef struct {
+	seq   int
+	epoch int64
+}
+
+func (f *recvFlow) remaining() int64 { return f.size - f.receivedByte }
+
+// demandBytes is the unadmitted payload used for channel asks.
+func (f *recvFlow) demandBytes() int64 {
+	b := int64(f.untokenedCnt) * packet.PayloadSize
+	if r := f.remaining(); b > r {
+		b = r
+	}
+	return b
+}
+
+// nextCandidate returns the lowest seq needing a token, or -1.
+func (f *recvFlow) nextCandidate() int {
+	for len(f.retx) > 0 {
+		if s := f.retx[0]; f.state[s] == seqUntokened {
+			return s
+		}
+		f.retx = f.retx[1:]
+	}
+	for f.nextNew < f.npkts && f.state[f.nextNew] != seqUntokened {
+		f.nextNew++
+	}
+	if f.nextNew < f.npkts {
+		return f.nextNew
+	}
+	return -1
+}
+
+// tokenLoop clocks tokens to one matched sender during a data phase.
+type tokenLoop struct {
+	src      int
+	channels int
+	interval sim.Duration
+	epoch    int64
+	stalled  bool
+	timer    *sim.Timer
+}
+
+// receiver is the admit half of a dcPIM host: it initiates matching with
+// RTS, accepts grants, clocks tokens to matched senders, and detects and
+// recovers losses.
+type receiver struct {
+	p *Proto
+
+	flows    map[uint64]*recvFlow
+	bySender map[int]map[uint64]*recvFlow
+
+	// Matching state for epoch matchEpoch.
+	matchEpoch  int64
+	used        int // channels accepted so far
+	planned     map[int]int64
+	grantBuf    [][]*packet.Packet
+	matchedNext map[int]int
+
+	// Current data phase.
+	matchedNow map[int]int
+	loops      map[int]*tokenLoop
+}
+
+func (r *receiver) init(p *Proto) {
+	r.p = p
+	r.flows = make(map[uint64]*recvFlow)
+	r.bySender = make(map[int]map[uint64]*recvFlow)
+	r.planned = make(map[int]int64)
+	r.matchedNow = make(map[int]int)
+	r.matchedNext = make(map[int]int)
+	r.loops = make(map[int]*tokenLoop)
+}
+
+// ensure returns the flow state for pkt, creating it lazily (data can
+// arrive before its notification under spraying).
+func (r *receiver) ensure(pkt *packet.Packet) *recvFlow {
+	if f, ok := r.flows[pkt.Flow]; ok {
+		return f
+	}
+	n := packet.PacketsForBytes(pkt.FlowSize)
+	f := &recvFlow{
+		id: pkt.Flow, src: pkt.Src, size: pkt.FlowSize, arrival: pkt.SentAt,
+		npkts: n, short: pkt.FlowSize <= r.p.tm.shortThresh,
+		state: make([]uint8, n), untokenedCnt: n,
+	}
+	r.flows[f.id] = f
+	if r.bySender[f.src] == nil {
+		r.bySender[f.src] = make(map[uint64]*recvFlow)
+	}
+	r.bySender[f.src][f.id] = f
+
+	if f.short {
+		// Short flows arrive unsolicited; if anything is missing after a
+		// full data RTT, recover through the matching path (§3.2).
+		r.p.eng.After(r.p.tm.dataRTT, func() {
+			if !f.done {
+				f.eligible = true
+				r.addPlanned(f.src, f.demandBytes())
+				r.resumeLoop(f.src)
+			}
+		})
+	} else {
+		f.eligible = true
+		r.addPlanned(f.src, f.demandBytes())
+		// A matched-but-idle token loop can pick the new flow up
+		// mid-phase.
+		r.resumeLoop(f.src)
+	}
+	return f
+}
+
+// addPlanned adds late-arriving demand into the in-progress matching.
+func (r *receiver) addPlanned(src int, bytes int64) {
+	if bytes > 0 {
+		r.planned[src] += bytes
+	}
+}
+
+func (r *receiver) onNotification(n *packet.Packet) {
+	r.ensure(n)
+	ack := packet.NewControl(packet.NotificationAck, r.p.id, n.Src, n.Flow)
+	r.p.send(ack)
+}
+
+func (r *receiver) onFinishSender(fin *packet.Packet) {
+	f := r.flows[fin.Flow]
+	if f == nil || !f.done {
+		return // incomplete: stay silent, recovery will finish the flow
+	}
+	out := packet.NewControl(packet.FinishReceiver, r.p.id, fin.Src, fin.Flow)
+	r.p.send(out)
+}
+
+func (r *receiver) onData(d *packet.Packet) {
+	f := r.ensure(d)
+	if f.done || d.Seq < 0 || d.Seq >= f.npkts || f.state[d.Seq] == seqReceived {
+		return
+	}
+	if f.state[d.Seq] == seqTokened {
+		f.outstanding--
+	} else {
+		f.untokenedCnt--
+	}
+	f.state[d.Seq] = seqReceived
+	f.receivedCnt++
+	payload := int64(d.Size) - packet.HeaderSize
+	if d.Trimmed {
+		payload = 0 // a trimmed packet delivers no payload (defensive; dcPIM runs without trimming)
+	}
+	f.receivedByte += payload
+	r.p.col.Delivered(r.p.eng.Now(), payload)
+
+	if f.receivedByte >= f.size {
+		r.complete(f)
+		return
+	}
+	// Token clocking: once the window fills, each received data packet
+	// releases the next token (§3.2).
+	r.resumeLoop(d.Src)
+}
+
+func (r *receiver) complete(f *recvFlow) {
+	f.done = true
+	opt := r.p.host.Topo().UnloadedFCT(f.src, r.p.id, f.size)
+	r.p.col.FlowDone(stats.FlowRecord{
+		ID: f.id, Src: f.src, Dst: r.p.id, Size: f.size,
+		Arrival: f.arrival, Finish: r.p.eng.Now(), Optimal: opt,
+	})
+	// Free bulk state; keep the entry so duplicates and finish packets
+	// resolve against a completed flow.
+	f.state = nil
+	f.retx = nil
+	f.tokened = nil
+	delete(r.bySender[f.src], f.id)
+}
+
+// ---- data phase: token clocking ----
+
+func (r *receiver) onEpochStart(e int64) {
+	// Revert tokens from finished phases whose data never arrived: they
+	// re-enter the demand pool and are re-admitted at the window start
+	// when the sender is next matched (§3.2 loss recovery). Per-flow state
+	// is independent, so map order is harmless here.
+	for _, f := range r.flows {
+		if f.done {
+			continue
+		}
+		for len(f.tokened) > 0 && f.tokened[0].epoch < e {
+			tr := f.tokened[0]
+			f.tokened = f.tokened[1:]
+			if f.state[tr.seq] != seqTokened {
+				continue // already received
+			}
+			f.state[tr.seq] = seqUntokened
+			f.untokenedCnt++
+			f.outstanding--
+			f.retx = append(f.retx, tr.seq)
+		}
+	}
+	// Swap in the matching computed during the previous epoch.
+	for _, l := range r.loops {
+		if l.timer != nil {
+			l.timer.Cancel()
+		}
+	}
+	r.matchedNow = r.matchedNext
+	r.matchedNext = make(map[int]int)
+	r.loops = make(map[int]*tokenLoop, len(r.matchedNow))
+	for _, src := range sortedKeys(r.matchedNow) {
+		ch := r.matchedNow[src]
+		if ch <= 0 {
+			continue
+		}
+		l := &tokenLoop{
+			src: src, channels: ch, epoch: e,
+			interval: sim.Duration(int64(r.p.tm.mtuTime) * int64(r.p.cfg.Channels) / int64(ch)),
+		}
+		r.loops[src] = l
+		r.fireLoop(l)
+	}
+}
+
+// window returns the token window for a flow whose sender holds ch
+// channels: 1 BDP scaled by the matched share (§3.4).
+func (r *receiver) window(ch int) int {
+	w := r.p.tm.windowPkts * ch / r.p.cfg.Channels
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// fireLoop issues one token for the loop's sender, choosing the eligible
+// flow with the smallest remaining bytes, then self-schedules. With no
+// admissible work (window full or nothing pending) the loop stalls until
+// data arrival or new demand resumes it.
+func (r *receiver) fireLoop(l *tokenLoop) {
+	if l.epoch != r.p.epoch {
+		return // stale chain from a previous phase
+	}
+	var best *recvFlow
+	var bestSeq int
+	w := r.window(l.channels)
+	for _, f := range r.bySender[l.src] {
+		if f.done || !f.eligible || f.outstanding >= w {
+			continue
+		}
+		seq := f.nextCandidate()
+		if seq < 0 {
+			continue
+		}
+		// SRPT with a flow-id tie-break so map order cannot leak into
+		// the packet stream.
+		if best == nil || f.remaining() < best.remaining() ||
+			(f.remaining() == best.remaining() && f.id < best.id) {
+			best, bestSeq = f, seq
+		}
+	}
+	if best == nil {
+		l.stalled = true
+		l.timer = nil
+		return
+	}
+	r.issueToken(l, best, bestSeq)
+	l.stalled = false
+	l.timer = r.p.eng.After(l.interval, func() { r.fireLoop(l) })
+}
+
+func (r *receiver) issueToken(l *tokenLoop, f *recvFlow, seq int) {
+	if len(f.retx) > 0 && f.retx[0] == seq {
+		f.retx = f.retx[1:]
+	}
+	f.state[seq] = seqTokened
+	f.untokenedCnt--
+	f.outstanding++
+	f.tokened = append(f.tokened, tokenRef{seq: seq, epoch: l.epoch})
+
+	tok := packet.NewControl(packet.Token, r.p.id, f.src, f.id)
+	tok.Seq = seq
+	tok.Epoch = l.epoch
+	tok.Count = int(prioForRemaining(f.remaining(), r.p.tm.bdp))
+	tok.CumAck = f.receivedCnt
+	r.p.send(tok)
+}
+
+// resumeLoop restarts a stalled token loop for src (data-clocked tokens
+// and mid-phase demand arrivals).
+func (r *receiver) resumeLoop(src int) {
+	if l, ok := r.loops[src]; ok && l.stalled {
+		r.fireLoop(l)
+	}
+}
+
+// ---- matching phase (receiver side: request + accept) ----
+
+// requestStage opens round `round` of the matching for `epoch` by sending
+// RTS to every sender with unplanned demand, within the remaining channel
+// budget (§3.1, §3.4).
+func (r *receiver) requestStage(epoch int64, round int) {
+	if round == 0 {
+		r.matchEpoch = epoch
+		r.used = 0
+		r.grantBuf = make([][]*packet.Packet, r.p.cfg.Rounds)
+		r.matchedNext = make(map[int]int)
+		r.planned = r.computePlanned()
+	}
+	free := r.p.cfg.Channels - r.used
+	if free <= 0 {
+		return
+	}
+	// Iterate senders in id order: map order would make packet emission
+	// (and thus the whole run) non-deterministic.
+	for _, src := range sortedKeys(r.planned) {
+		bytes := r.planned[src]
+		if bytes <= 0 {
+			continue
+		}
+		want := int((bytes + r.p.tm.channelBytes - 1) / r.p.tm.channelBytes)
+		if want > free {
+			want = free
+		}
+		rts := packet.NewControl(packet.RTS, r.p.id, src, 0)
+		rts.Channels = want
+		rts.Round = round
+		rts.Epoch = epoch
+		rts.Remaining = r.minRemainingFrom(src)
+		r.p.send(rts)
+	}
+}
+
+// computePlanned rebuilds per-sender unadmitted demand, net of what the
+// just-started data phase is projected to deliver (§3.4's outstanding-byte
+// bookkeeping).
+func (r *receiver) computePlanned() map[int]int64 {
+	planned := make(map[int]int64)
+	for src, flows := range r.bySender {
+		var sum int64
+		for _, f := range flows {
+			if f.done || !f.eligible {
+				continue
+			}
+			sum += f.demandBytes()
+		}
+		if ch := r.matchedNow[src]; ch > 0 {
+			sum -= int64(ch) * r.p.tm.channelBytes
+		}
+		if sum > 0 {
+			planned[src] = sum
+		}
+	}
+	return planned
+}
+
+func (r *receiver) minRemainingFrom(src int) int64 {
+	best := int64(1) << 62
+	for _, f := range r.bySender[src] {
+		if f.done || !f.eligible {
+			continue
+		}
+		if rem := f.remaining(); rem < best {
+			best = rem
+		}
+	}
+	return best
+}
+
+func (r *receiver) onGrant(g *packet.Packet) {
+	if g.Epoch != r.matchEpoch || g.Round < 0 || g.Round >= len(r.grantBuf) {
+		return
+	}
+	r.grantBuf[g.Round] = append(r.grantBuf[g.Round], g)
+}
+
+// acceptStage resolves the grants of the given round: smallest remaining
+// flow first in the FCT round, random otherwise, within the channel
+// budget (§3.4).
+func (r *receiver) acceptStage(epoch int64, round int) {
+	if epoch != r.matchEpoch || round < 0 || round >= len(r.grantBuf) {
+		return
+	}
+	// Include stragglers from earlier rounds (clock skew, queueing): a
+	// late grant is still a valid offer for this epoch's matching.
+	var grants []*packet.Packet
+	for j := 0; j <= round; j++ {
+		grants = append(grants, r.grantBuf[j]...)
+		r.grantBuf[j] = nil
+	}
+	if len(grants) == 0 {
+		return
+	}
+	if round == 0 && r.p.cfg.FCTRound {
+		sort.SliceStable(grants, func(i, j int) bool {
+			return grants[i].Remaining < grants[j].Remaining
+		})
+	} else {
+		rng := r.p.eng.Rand()
+		rng.Shuffle(len(grants), func(i, j int) { grants[i], grants[j] = grants[j], grants[i] })
+	}
+	free := r.p.cfg.Channels - r.used
+	for _, g := range grants {
+		if free <= 0 {
+			break
+		}
+		take := g.Channels
+		if take > free {
+			take = free
+		}
+		acc := packet.NewControl(packet.Accept, r.p.id, g.Src, 0)
+		acc.Channels = take
+		acc.Round = round
+		acc.Epoch = epoch
+		r.p.send(acc)
+		r.used += take
+		free -= take
+		r.matchedNext[g.Src] += take
+		r.planned[g.Src] -= int64(take) * r.p.tm.channelBytes
+	}
+}
+
+// sortedKeys returns map keys in ascending order, for deterministic
+// iteration wherever packets are emitted.
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"sort"
+
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+	"dcpim/internal/workload"
+)
+
+// sender is the transmit half of a dcPIM host: it answers RTS with grants
+// during matching, holds and spends tokens during data phases, transmits
+// short flows immediately, and runs the notification/finish reliability
+// timers.
+type sender struct {
+	p *Proto
+
+	flows map[uint64]*sendFlow
+
+	// Token queue (FIFO as issued by receivers, which already order their
+	// token streams by SRPT).
+	tokens []*packet.Packet
+	pacing bool
+
+	// Matching state for epoch matchEpoch (the data phase being built).
+	matchEpoch int64
+	committed  int          // channels accepted so far
+	reserved   int          // channels granted but not yet resolved
+	rounds     []roundState // per-round grant bookkeeping
+	rtsBuf     [][]*packet.Packet
+
+	dataEpoch int64
+}
+
+type roundState struct {
+	granted  int
+	accepted int
+	released bool
+}
+
+// sendFlow is the sender-side state of one flow.
+type sendFlow struct {
+	id      uint64
+	dst     int
+	size    int64
+	arrival sim.Time
+	npkts   int
+	short   bool
+
+	sent    []bool
+	sentCnt int
+
+	notifAcked bool
+	notifTimer *sim.Timer
+	finTimer   *sim.Timer
+	finSent    bool
+	done       bool
+}
+
+// remainingBytes approximates untransmitted payload (the SRPT key carried
+// in grants).
+func (f *sendFlow) remainingBytes() int64 {
+	return int64(f.npkts-f.sentCnt) * packet.PayloadSize
+}
+
+func (s *sender) init(p *Proto) {
+	s.p = p
+	s.flows = make(map[uint64]*sendFlow)
+}
+
+// flowArrival starts a new outgoing flow: notify the receiver and, for
+// short flows, blast the payload immediately at the short-flow priority.
+func (s *sender) flowArrival(fl workload.Flow) {
+	f := &sendFlow{
+		id: fl.ID, dst: fl.Dst, size: fl.Size, arrival: fl.Arrival,
+		npkts: packet.PacketsForBytes(fl.Size),
+		short: fl.Size <= s.p.tm.shortThresh,
+	}
+	f.sent = make([]bool, f.npkts)
+	s.flows[f.id] = f
+
+	s.sendNotification(f)
+
+	if f.short {
+		for seq := 0; seq < f.npkts; seq++ {
+			s.transmitData(f, seq, packet.PrioShort)
+		}
+		// First finish once the burst has serialized out of the NIC.
+		txAll := sim.TransmissionTime(int(f.size)+f.npkts*packet.HeaderSize,
+			s.p.host.LineRate())
+		s.p.eng.After(txAll+s.p.tm.mtuTime, func() { s.maybeFinish(f) })
+	}
+}
+
+func (s *sender) sendNotification(f *sendFlow) {
+	if f.notifAcked || f.done {
+		return
+	}
+	n := packet.NewControl(packet.Notification, s.p.id, f.dst, f.id)
+	n.FlowSize = f.size
+	s.p.send(n)
+	// Retransmit until acknowledged (§3.5). The period leaves slack above
+	// one cRTT so an in-flight ack from the farthest host wins the race.
+	f.notifTimer = s.p.eng.After(s.p.tm.ctrlRTT*2, func() { s.sendNotification(f) })
+}
+
+func (s *sender) onNotificationAck(pkt *packet.Packet) {
+	f := s.flows[pkt.Flow]
+	if f == nil {
+		return
+	}
+	f.notifAcked = true
+	if f.notifTimer != nil {
+		f.notifTimer.Cancel()
+	}
+}
+
+// transmitData sends packet seq of f at the given priority.
+func (s *sender) transmitData(f *sendFlow, seq int, prio uint8) {
+	d := packet.NewData(s.p.id, f.dst, f.id, seq,
+		packet.DataPacketSize(f.size, seq), prio)
+	d.FlowSize = f.size
+	if f.short {
+		d.Unsched = true // eligible for Aeolus-style selective drop
+	}
+	if !f.sent[seq] {
+		f.sent[seq] = true
+		f.sentCnt++
+	}
+	s.p.send(d)
+}
+
+// maybeFinish emits FinishSender once every packet has been transmitted at
+// least once and no tokens for the flow are pending, then keeps
+// retransmitting it every control RTT until the receiver confirms (§3.5).
+func (s *sender) maybeFinish(f *sendFlow) {
+	if f.done || f.sentCnt < f.npkts {
+		return
+	}
+	for _, t := range s.tokens {
+		if t.Flow == f.id {
+			return // still owe admitted data
+		}
+	}
+	fin := packet.NewControl(packet.FinishSender, s.p.id, f.dst, f.id)
+	fin.Count = f.npkts
+	fin.FlowSize = f.size
+	s.p.send(fin)
+	f.finSent = true
+	f.finTimer = s.p.eng.After(s.p.tm.ctrlRTT*2, func() { s.maybeFinish(f) })
+}
+
+func (s *sender) onFinishReceiver(pkt *packet.Packet) {
+	f := s.flows[pkt.Flow]
+	if f == nil {
+		return
+	}
+	f.done = true
+	if f.finTimer != nil {
+		f.finTimer.Cancel()
+	}
+	if f.notifTimer != nil {
+		f.notifTimer.Cancel()
+	}
+	delete(s.flows, f.id)
+}
+
+// onToken queues an admission token and kicks the pacer.
+func (s *sender) onToken(tok *packet.Packet) {
+	f := s.flows[tok.Flow]
+	if f == nil || f.done {
+		return
+	}
+	if f.finTimer != nil {
+		// New admissions supersede the finish cycle (retransmissions).
+		f.finTimer.Cancel()
+		f.finTimer = nil
+	}
+	s.tokens = append(s.tokens, tok)
+	s.kickPacer()
+}
+
+func (s *sender) kickPacer() {
+	if s.pacing {
+		return
+	}
+	s.pacing = true
+	s.pace()
+}
+
+// pace runs every MTU transmission time while tokens are queued: it sends
+// one token's data packet per tick, yielding to short-flow bursts already
+// occupying the NIC (§3.2 sender-side logic).
+func (s *sender) pace() {
+	if len(s.tokens) == 0 {
+		s.pacing = false
+		return
+	}
+	// Let short flows and control drain first; retry one MTU later.
+	if s.p.host.NICQueuedBytes() >= 2*packet.MTU {
+		s.p.eng.After(s.p.tm.mtuTime, s.pace)
+		return
+	}
+	tok := s.popValidToken()
+	if tok == nil {
+		s.pacing = false
+		return
+	}
+	f := s.flows[tok.Flow]
+	prio := uint8(tok.Count)
+	if prio < packet.PrioDataHigh || prio > packet.PrioDataLow {
+		prio = packet.PrioDataHigh
+	}
+	s.transmitData(f, tok.Seq, prio)
+	if f.sentCnt == f.npkts {
+		s.maybeFinish(f)
+	}
+	s.p.eng.After(s.p.tm.mtuTime, s.pace)
+}
+
+// popValidToken discards expired tokens (older than the previous epoch's
+// grace window, §3.2) and returns the next usable one.
+func (s *sender) popValidToken() *packet.Packet {
+	now := s.p.eng.Now()
+	graceEnd := sim.Time(int64(s.p.tm.epochLen) * s.dataEpoch).Add(s.p.tm.grace)
+	for len(s.tokens) > 0 {
+		tok := s.tokens[0]
+		s.tokens = s.tokens[1:]
+		switch {
+		case tok.Epoch >= s.dataEpoch:
+			// Current (or, with clock skew, upcoming) phase: usable.
+		case tok.Epoch == s.dataEpoch-1 && now <= graceEnd:
+			// Previous phase, still within the grace period.
+		default:
+			continue // expired
+		}
+		if f := s.flows[tok.Flow]; f == nil || f.done {
+			continue
+		}
+		return tok
+	}
+	return nil
+}
+
+// ---- matching phase (sender side: grant) ----
+
+func (s *sender) onEpochStart(e int64) {
+	s.dataEpoch = e
+	s.matchEpoch = e + 1
+	s.committed = 0
+	s.reserved = 0
+	s.rounds = make([]roundState, s.p.cfg.Rounds)
+	s.rtsBuf = make([][]*packet.Packet, s.p.cfg.Rounds)
+	// Tokens from before the previous epoch can never become valid again;
+	// drop them eagerly so the queue stays short.
+	live := s.tokens[:0]
+	for _, t := range s.tokens {
+		if t.Epoch >= e-1 {
+			live = append(live, t)
+		}
+	}
+	s.tokens = live
+	if len(s.tokens) > 0 {
+		s.kickPacer()
+	}
+}
+
+// onRTS buffers a matching request for processing at the next grant tick.
+// Stale requests (wrong epoch or a round whose grant stage has passed) are
+// dropped — the multi-round design absorbs the loss (§3.3).
+func (s *sender) onRTS(rts *packet.Packet) {
+	if rts.Epoch != s.matchEpoch || rts.Round < 0 || rts.Round >= s.p.cfg.Rounds {
+		return
+	}
+	s.rtsBuf[rts.Round] = append(s.rtsBuf[rts.Round], rts)
+}
+
+// onAccept finalizes granted channels. Late accepts (after the grant
+// budget was released) are still honored: the receiver considers itself
+// matched and will clock tokens, which the sender always obeys (§3.5).
+func (s *sender) onAccept(acc *packet.Packet) {
+	if acc.Epoch != s.matchEpoch || acc.Round < 0 || acc.Round >= len(s.rounds) {
+		return
+	}
+	s.committed += acc.Channels
+	rs := &s.rounds[acc.Round]
+	rs.accepted += acc.Channels
+	if !rs.released {
+		s.reserved -= acc.Channels
+	}
+}
+
+// grantStage processes the RTS buffered for the given round: it first
+// releases channel budget reserved by the previous round's unaccepted
+// grants, then distributes free channels over the requests — by smallest
+// remaining flow in the FCT-optimizing round, uniformly at random
+// otherwise (§3.1, §3.5).
+func (s *sender) grantStage(epoch int64, round int) {
+	if epoch != s.matchEpoch {
+		return
+	}
+	if round > 0 {
+		rs := &s.rounds[round-1]
+		if !rs.released {
+			s.reserved -= rs.granted - rs.accepted
+			rs.released = true
+		}
+	}
+	// Drain this round's requests plus any stragglers from earlier rounds
+	// (skewed clocks or queueing can land an RTS after its round's tick;
+	// processing it in the next round is the "catch up in the remaining
+	// rounds" behaviour the design relies on).
+	var reqs []*packet.Packet
+	for j := 0; j <= round; j++ {
+		reqs = append(reqs, s.rtsBuf[j]...)
+		s.rtsBuf[j] = nil
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	free := s.p.cfg.Channels - s.committed - s.reserved
+	if free <= 0 {
+		return
+	}
+	if round == 0 && s.p.cfg.FCTRound {
+		sort.SliceStable(reqs, func(i, j int) bool {
+			return reqs[i].Remaining < reqs[j].Remaining
+		})
+	} else {
+		rng := s.p.eng.Rand()
+		rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
+	}
+	for _, r := range reqs {
+		if free <= 0 {
+			break
+		}
+		give := r.Channels
+		if give > free {
+			give = free
+		}
+		if give <= 0 {
+			continue
+		}
+		g := packet.NewControl(packet.Grant, s.p.id, r.Src, 0)
+		g.Channels = give
+		g.Round = round
+		g.Epoch = epoch
+		g.Remaining = s.minRemainingTo(r.Src)
+		s.p.send(g)
+		free -= give
+		s.reserved += give
+		s.rounds[round].granted += give
+	}
+}
+
+// minRemainingTo returns the smallest remaining size among this sender's
+// unfinished flows to dst (SRPT key for the receiver's accept choice).
+func (s *sender) minRemainingTo(dst int) int64 {
+	best := int64(1) << 62
+	for _, f := range s.flows {
+		if f.dst != dst || f.done {
+			continue
+		}
+		if r := f.remainingBytes(); r < best {
+			best = r
+		}
+	}
+	return best
+}

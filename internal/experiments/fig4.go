@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dcpim/internal/matching"
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+	"dcpim/internal/stats"
+	"dcpim/internal/workload"
+)
+
+// fig4aProtocols: the microbenchmarks compare dcPIM against the three
+// simulated baselines.
+var fig4aProtocols = []string{DCPIM, HomaAeolus, NDP, HPCC}
+
+// RunFig4a reproduces Figure 4(a): 16 senders in one rack run an
+// all-to-all shuffle to 16 receivers in another rack, while every 100 µs
+// for the first 600 µs, 50 other hosts send a 128 KB incast to one of the
+// receivers. The figure is utilization (of the 16 receiver downlinks)
+// over time; dcPIM stays high, HPCC stumbles on PFC, Homa Aeolus and NDP
+// converge slowly.
+func RunFig4a(o Options, w io.Writer) error {
+	tp := leafSpineFor(o.Hosts)
+	hpr := 16
+	if tp.NumHosts < 48 {
+		return fmt.Errorf("fig4a needs ≥48 hosts (3 racks), topology has %d", tp.NumHosts)
+	}
+	horizon := o.scaled(1 * sim.Millisecond)
+
+	senders := make([]int, hpr)
+	receivers := make([]int, hpr)
+	var others []int
+	for i := 0; i < hpr; i++ {
+		senders[i] = i         // rack 0
+		receivers[i] = hpr + i // rack 1
+	}
+	for h := 2 * hpr; h < tp.NumHosts; h++ {
+		others = append(others, h)
+	}
+
+	shuffle := workload.SubsetAllToAll{
+		Senders: senders, Receivers: receivers,
+		HostRate: tp.HostRate, Load: 0.9,
+		Dist:    workload.FixedDist{Size: 500 << 10, Tag: "shuffle-500KB"},
+		Horizon: horizon, Seed: o.Seed,
+	}.Generate()
+	incast := workload.IncastConfig{
+		Senders: others, Receivers: receivers[:1], Fanin: 50,
+		BurstSize: 128 << 10, Interval: 100 * sim.Microsecond,
+		Bursts: 6, Horizon: horizon, Seed: o.Seed + 1,
+	}.Generate()
+	if len(others) < 50 {
+		incast = workload.IncastConfig{
+			Senders: others, Receivers: receivers[:1], Fanin: len(others),
+			BurstSize: 128 << 10, Interval: 100 * sim.Microsecond,
+			Bursts: 6, Horizon: horizon, Seed: o.Seed + 1,
+		}.Generate()
+	}
+	trace := workload.Merge(shuffle, incast)
+
+	fmt.Fprintf(w, "Figure 4(a): bursty microbenchmark — receiver-rack utilization over time (horizon %v)\n\n", horizon)
+	bins := int(horizon / (50 * sim.Microsecond))
+	header := []string{"protocol"}
+	for b := 0; b < bins; b++ {
+		header = append(header, fmt.Sprintf("%dus", (b+1)*50))
+	}
+	tbl := newTable(header...)
+	for _, proto := range fig4aProtocols {
+		res := Run(RunSpec{
+			Protocol: proto, Topo: tp, Trace: trace,
+			Horizon: horizon, Seed: o.Seed + 9, BinWidth: 50 * sim.Microsecond,
+		})
+		// Normalize by the 16 loaded receiver downlinks, not all hosts.
+		series := res.Col.UtilizationSeries(hpr, tp.HostRate)
+		row := []any{proto}
+		for b := 0; b < bins; b++ {
+			if b < len(series) {
+				row = append(row, series[b])
+			} else {
+				row = append(row, 0.0)
+			}
+		}
+		tbl.add(row...)
+	}
+	tbl.write(w)
+	fmt.Fprintln(w, "\npaper: dcPIM converges in tens of µs and stays high; HPCC stumbles (PFC); Homa Aeolus/NDP take 300-600µs")
+	return nil
+}
+
+// RunFig4b reproduces Figure 4(b): the adversarial workload where every
+// flow has size BDP+1 — each flow must be matched but fills only a
+// fraction of a data phase. The paper finds HPCC beats dcPIM on mean
+// latency here; NDP and Homa Aeolus stay worse.
+func RunFig4b(o Options, w io.Writer) error {
+	tp := leafSpineFor(o.Hosts)
+	horizon := o.scaled(1 * sim.Millisecond)
+	size := tp.BDP() + 1
+
+	fmt.Fprintf(w, "Figure 4(b): all flows of size BDP+1 = %d bytes, load 0.6 (horizon %v)\n\n", size, horizon)
+	tbl := newTable("protocol", "mean-slowdown", "p99-slowdown", "completed")
+	for _, proto := range fig4aProtocols {
+		tr := workload.AllToAllConfig{
+			Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.6,
+			Dist:    workload.FixedDist{Size: size, Tag: "BDP+1"},
+			Horizon: horizon, Seed: o.Seed,
+		}.Generate()
+		res := Run(RunSpec{
+			Protocol: proto, Topo: tp, Trace: tr,
+			Horizon: horizon + horizon/2, Seed: o.Seed + 5,
+		})
+		s := stats.Summarize(res.Records, nil)
+		tbl.add(proto, s.Mean, s.P99, fmt.Sprintf("%d/%d", res.Col.Completed(), res.Started))
+	}
+	tbl.write(w)
+	fmt.Fprintln(w, "\npaper: HPCC wins mean and slightly wins tail here (dcPIM's worst case); NDP/Homa Aeolus worse")
+	return nil
+}
+
+// RunFig4c reproduces Figure 4(c): the dense traffic matrix — every host
+// sends one long flow to every other host (144×143). dcPIM sustains
+// ~93.5% utilization, far above its Theorem 1 floor of 32.9%; the
+// baselines collapse (HPCC on PFC storms, NDP on retransmissions, Homa
+// Aeolus on slow convergence).
+func RunFig4c(o Options, w io.Writer) error {
+	tp := leafSpineFor(o.Hosts)
+	horizon := o.scaled(1 * sim.Millisecond)
+	flowSize := int64(1 << 20)
+
+	fmt.Fprintf(w, "Figure 4(c): dense %d×%d traffic matrix of %d-byte flows (horizon %v)\n\n",
+		tp.NumHosts, tp.NumHosts-1, flowSize, horizon)
+	tr := workload.DenseTMConfig{Hosts: tp.NumHosts, FlowSize: flowSize, Horizon: horizon}.Generate()
+
+	tbl := newTable("protocol", "util(steady)", "util(100-300us)", "drops", "trims", "pfc-pauses")
+	for _, proto := range fig4aProtocols {
+		res := Run(RunSpec{
+			Protocol: proto, Topo: tp, Trace: tr,
+			Horizon: horizon, Seed: o.Seed + 3,
+		})
+		steady := steadyUtilization(res, horizon/2, horizon)
+		early := steadyUtilization(res, 100*sim.Microsecond, 300*sim.Microsecond)
+		tbl.add(proto, steady, early, res.Counters.DataDrops, res.Counters.Trims, res.Counters.PFCPauses)
+	}
+	tbl.write(w)
+
+	// Theoretical floor for comparison (paper: M* ≈ 120 ⇒ bound 32.9%).
+	n := tp.NumHosts
+	bound := matching.TheoremBound(float64(n), float64(n)/(float64(n)*0.83), 4)
+	fmt.Fprintf(w, "\nTheorem 1 floor at δ̄=n=%d, α≈1.2, r=4: %.1f%% — dcPIM should far exceed it (paper: ~93.5%%)\n",
+		n, bound*100)
+	_ = packet.MTU
+	return nil
+}

@@ -1,0 +1,234 @@
+// Package experiments reproduces every table and figure of the dcPIM
+// paper's evaluation (§4): it wires workloads, topologies and protocols
+// into the fabric simulator, runs them, and prints the same rows and
+// series the paper plots. cmd/experiments exposes each one on the command
+// line; EXPERIMENTS.md records paper-reported versus measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dcpim/internal/core"
+	"dcpim/internal/netsim"
+	"dcpim/internal/protocols/fastpass"
+	"dcpim/internal/protocols/homa"
+	"dcpim/internal/protocols/hpcc"
+	"dcpim/internal/protocols/ndp"
+	"dcpim/internal/protocols/phost"
+	"dcpim/internal/protocols/tcp"
+	"dcpim/internal/sim"
+	"dcpim/internal/stats"
+	"dcpim/internal/topo"
+	"dcpim/internal/workload"
+)
+
+// Protocol names usable in RunSpec.
+const (
+	DCPIM      = "dcpim"
+	HomaAeolus = "homa-aeolus"
+	Homa       = "homa"
+	NDP        = "ndp"
+	HPCC       = "hpcc"
+	PHost      = "phost"
+	DCTCP      = "dctcp"
+	Cubic      = "cubic"
+	Fastpass   = "fastpass"
+)
+
+// Comparators is the paper's simulation protocol set (Figures 3–5).
+var Comparators = []string{DCPIM, HomaAeolus, NDP, HPCC}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Seed for all randomness.
+	Seed int64
+	// Scale multiplies simulation horizons; < 1 gives quick smoke runs,
+	// 1 the default fidelity.
+	Scale float64
+	// Hosts overrides topology size where the experiment allows scaling
+	// (0 = the paper's size).
+	Hosts int
+}
+
+// DefaultOptions returns full-fidelity settings.
+func DefaultOptions() Options { return Options{Seed: 1, Scale: 1} }
+
+func (o Options) scaled(d sim.Duration) sim.Duration {
+	if o.Scale <= 0 {
+		return d
+	}
+	return sim.Duration(float64(d) * o.Scale)
+}
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	Protocol string
+	Topo     *topo.Topology
+	Trace    *workload.Trace
+	Horizon  sim.Duration // total run time (trace horizon + drain)
+	Seed     int64
+	BinWidth sim.Duration   // utilization series bin (0 = 10 µs)
+	DcPIM    *core.Config   // optional dcPIM parameter override
+	Fabric   *netsim.Config // optional fabric override
+}
+
+// RunResult carries everything the figures need from one run.
+type RunResult struct {
+	Protocol string
+	Records  []stats.FlowRecord
+	Col      *stats.Collector
+	Counters netsim.Counters
+	Offered  int64
+	Started  int64
+	Hosts    int
+	HostRate float64
+	Trace    *workload.Trace
+	End      sim.Time // simulation end (horizon)
+}
+
+// Utilization returns goodput over the run relative to offered load.
+func (r RunResult) Utilization() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Col.DeliveredBytes()) / float64(r.Offered)
+}
+
+// CappedUtilization returns delivered bytes relative to the bytes that
+// were physically deliverable by the end of the run: each flow's offered
+// bytes are capped at line rate times its time in the system. This makes
+// sustainability checks robust to heavy-tailed workloads, where a few
+// gigantic flows hold a large share of raw offered bytes that no protocol
+// could have delivered within the horizon.
+func (r RunResult) CappedUtilization() float64 {
+	var capped int64
+	end := r.End
+	for _, fl := range r.Trace.Flows {
+		max := int64(r.HostRate / 8 * end.Sub(fl.Arrival).Seconds())
+		if max > fl.Size {
+			max = fl.Size
+		}
+		if max > 0 {
+			capped += max
+		}
+	}
+	if capped == 0 {
+		return 0
+	}
+	return float64(r.Col.DeliveredBytes()) / float64(capped)
+}
+
+// Completion returns the fraction of injected flows that completed.
+func (r RunResult) Completion() float64 {
+	if r.Started == 0 {
+		return 0
+	}
+	return float64(r.Col.Completed()) / float64(r.Started)
+}
+
+// Run executes one simulation to its horizon and collects results.
+func Run(spec RunSpec) RunResult {
+	eng := sim.NewEngine(spec.Seed)
+	bin := spec.BinWidth
+	if bin == 0 {
+		bin = 10 * sim.Microsecond
+	}
+	col := stats.NewCollector(bin)
+
+	fc, attach := protocolSetup(spec, col)
+	if spec.Fabric != nil {
+		fc = *spec.Fabric
+	}
+	fab := netsim.New(eng, spec.Topo, fc)
+	attach(fab)
+	fab.Start()
+	fab.Inject(spec.Trace)
+	eng.Run(sim.Time(spec.Horizon))
+
+	return RunResult{
+		Protocol: spec.Protocol,
+		Records:  col.Records(),
+		Col:      col,
+		Counters: fab.Counters,
+		Offered:  spec.Trace.OfferedBytes,
+		Started:  int64(len(spec.Trace.Flows)),
+		Hosts:    spec.Topo.NumHosts,
+		HostRate: spec.Topo.HostRate,
+		Trace:    spec.Trace,
+		End:      sim.Time(spec.Horizon),
+	}
+}
+
+// protocolSetup returns the fabric configuration a protocol expects and a
+// function attaching it to every host.
+func protocolSetup(spec RunSpec, col *stats.Collector) (netsim.Config, func(*netsim.Fabric)) {
+	switch spec.Protocol {
+	case DCPIM:
+		cfg := core.DefaultConfig()
+		if spec.DcPIM != nil {
+			cfg = *spec.DcPIM
+		}
+		return netsim.Config{Spray: true}, func(f *netsim.Fabric) { core.Attach(f, cfg, col) }
+	case HomaAeolus:
+		cfg := homa.AeolusConfig()
+		return cfg.FabricConfig(), func(f *netsim.Fabric) { homa.Attach(f, cfg, col) }
+	case Homa:
+		cfg := homa.DefaultConfig()
+		return cfg.FabricConfig(), func(f *netsim.Fabric) { homa.Attach(f, cfg, col) }
+	case NDP:
+		cfg := ndp.Config{}
+		return cfg.FabricConfig(), func(f *netsim.Fabric) { ndp.Attach(f, cfg, col) }
+	case HPCC:
+		cfg := hpcc.DefaultConfig()
+		return cfg.FabricConfig(), func(f *netsim.Fabric) { hpcc.Attach(f, cfg, col) }
+	case PHost:
+		return phost.FabricConfig(), func(f *netsim.Fabric) { phost.Attach(f, phost.Config{}, col) }
+	case DCTCP:
+		cfg := tcp.DCTCPConfig(0)
+		return cfg.FabricConfig(), func(f *netsim.Fabric) { tcp.Attach(f, cfg, col) }
+	case Cubic:
+		cfg := tcp.CubicConfig()
+		return cfg.FabricConfig(), func(f *netsim.Fabric) { tcp.Attach(f, cfg, col) }
+	case Fastpass:
+		return fastpass.FabricConfig(), func(f *netsim.Fabric) { fastpass.Attach(f, fastpass.Config{}, col) }
+	default:
+		panic(fmt.Sprintf("experiments: unknown protocol %q", spec.Protocol))
+	}
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string // e.g. "fig3a"
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"theorem1", "Theorem 1: bounded-round matching quality vs. analytical bound", RunTheorem1},
+		{"fig3a", "Figure 3(a): maximum sustainable load (IMC10, leaf-spine)", RunFig3a},
+		{"fig3b", "Figure 3(b): mean slowdown across flows at load 0.6", RunFig3b},
+		{"fig3cde", "Figure 3(c–e): slowdown by flow size per workload at load 0.6", RunFig3cde},
+		{"fig4a", "Figure 4(a): bursty microbenchmark utilization timeline", RunFig4a},
+		{"fig4b", "Figure 4(b): worst case — all flows of size BDP+1", RunFig4b},
+		{"fig4c", "Figure 4(c): dense 144×143 traffic matrix utilization", RunFig4c},
+		{"fig5ab", "Figure 5(a,b): 2:1 oversubscribed leaf-spine at load 0.5", RunFig5ab},
+		{"fig5cd", "Figure 5(c,d): 1024-host FatTree at load 0.6", RunFig5cd},
+		{"fig6", "Figure 6: sensitivity to r, k and β at load 0.54", RunFig6},
+		{"fig7", "Figure 7: 32-host 10G testbed — dcPIM vs DCTCP vs Cubic", RunFig7},
+		{"fastpass", "§5 comparison: dcPIM vs Fastpass (centralized arbiter) short-flow latency", RunFastpass},
+		{"ablation", "dcPIM design ablations: FCT round on/off, token window sizing", RunAblation},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "dcpim/internal/topo"
+
+// leafSpineFor builds the evaluation leaf-spine at the paper's size (144
+// hosts) or a scaled-down variant for quick runs: callers pass
+// Options.Hosts (0 = full size).
+func leafSpineFor(hosts int) *topo.Topology {
+	cfg := leafSpineConfigFor(hosts)
+	return cfg.Build()
+}
+
+func leafSpineConfigFor(hosts int) topo.LeafSpineConfig {
+	switch {
+	case hosts == 0 || hosts >= 144:
+		return topo.DefaultLeafSpine()
+	case hosts <= 8:
+		return topo.SmallLeafSpine()
+	case hosts <= 32:
+		c := topo.DefaultLeafSpine()
+		c.Racks, c.HostsPerRack, c.Spines = 2, 16, 2
+		c.Name = "leafspine-32"
+		return c
+	default:
+		c := topo.DefaultLeafSpine()
+		c.Racks = (hosts + 15) / 16
+		c.Name = "leafspine-custom"
+		return c
+	}
+}
+
+// oversubFor is the 2:1 oversubscribed variant at the requested scale.
+func oversubFor(hosts int) *topo.Topology {
+	c := leafSpineConfigFor(hosts)
+	c.SpineRate /= 2
+	c.Name += "-oversub2"
+	return c.Build()
+}
+
+// fatTreeFor builds the paper's 1024-host FatTree, or k=4 (16 hosts) for
+// quick runs.
+func fatTreeFor(hosts int) *topo.Topology {
+	if hosts != 0 && hosts <= 16 {
+		return topo.SmallFatTree().Build()
+	}
+	if hosts != 0 && hosts <= 128 {
+		c := topo.DefaultFatTree()
+		c.K = 8
+		c.Name = "fattree-128"
+		return c.Build()
+	}
+	return topo.DefaultFatTree().Build()
+}

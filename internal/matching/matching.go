@@ -1,0 +1,274 @@
+// Package matching implements Parallel Iterative Matching (PIM) on
+// bipartite demand graphs, plus the bounded-round, multi-channel variant
+// dcPIM builds on, in pure algorithmic form (no packets, no clocks). It is
+// the testable embodiment of the paper's §2 and Theorem 1: the transport
+// in internal/core realizes the same logic with control packets and stage
+// timers.
+package matching
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Graph is a bipartite demand graph: edge (s, r) means sender s has
+// outstanding data for receiver r.
+type Graph struct {
+	Senders   int
+	Receivers int
+	Adj       [][]int // Adj[s] = sorted receiver indices
+}
+
+// NewGraph builds a graph and validates the adjacency.
+func NewGraph(senders, receivers int, adj [][]int) (*Graph, error) {
+	if len(adj) != senders {
+		return nil, fmt.Errorf("matching: adj has %d rows, want %d", len(adj), senders)
+	}
+	for s, rs := range adj {
+		seen := make(map[int]bool, len(rs))
+		for _, r := range rs {
+			if r < 0 || r >= receivers {
+				return nil, fmt.Errorf("matching: sender %d has bad receiver %d", s, r)
+			}
+			if seen[r] {
+				return nil, fmt.Errorf("matching: sender %d has duplicate edge to %d", s, r)
+			}
+			seen[r] = true
+		}
+	}
+	return &Graph{Senders: senders, Receivers: receivers, Adj: adj}, nil
+}
+
+// RandomGraph generates a sparse bipartite graph where each possible edge
+// exists independently with probability avgDegree/receivers, giving
+// expected sender degree avgDegree — the sparse-traffic-matrix regime of
+// Theorem 1.
+func RandomGraph(rng *rand.Rand, senders, receivers int, avgDegree float64) *Graph {
+	p := avgDegree / float64(receivers)
+	if p > 1 {
+		p = 1
+	}
+	adj := make([][]int, senders)
+	for s := range adj {
+		for r := 0; r < receivers; r++ {
+			if rng.Float64() < p {
+				adj[s] = append(adj[s], r)
+			}
+		}
+	}
+	return &Graph{Senders: senders, Receivers: receivers, Adj: adj}
+}
+
+// DenseGraph returns the complete bipartite graph (the switch-fabric
+// worst case and the paper's Fig. 4c dense traffic matrix).
+func DenseGraph(senders, receivers int) *Graph {
+	adj := make([][]int, senders)
+	for s := range adj {
+		adj[s] = make([]int, receivers)
+		for r := 0; r < receivers; r++ {
+			adj[s][r] = r
+		}
+	}
+	return &Graph{Senders: senders, Receivers: receivers, Adj: adj}
+}
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, rs := range g.Adj {
+		n += len(rs)
+	}
+	return n
+}
+
+// AvgDegree returns the average sender degree δ̄.
+func (g *Graph) AvgDegree() float64 {
+	if g.Senders == 0 {
+		return 0
+	}
+	return float64(g.Edges()) / float64(g.Senders)
+}
+
+// Matching is a one-to-one assignment. SenderOf[r] is the sender matched
+// to receiver r (-1 if unmatched) and ReceiverOf[s] the converse.
+type Matching struct {
+	SenderOf   []int
+	ReceiverOf []int
+}
+
+// Size returns the number of matched pairs.
+func (m *Matching) Size() int {
+	n := 0
+	for _, s := range m.SenderOf {
+		if s >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Valid reports whether m is a matching on g: consistent inverse maps and
+// every matched pair an actual edge.
+func (m *Matching) Valid(g *Graph) bool {
+	if len(m.SenderOf) != g.Receivers || len(m.ReceiverOf) != g.Senders {
+		return false
+	}
+	for r, s := range m.SenderOf {
+		if s < 0 {
+			continue
+		}
+		if s >= g.Senders || m.ReceiverOf[s] != r {
+			return false
+		}
+		found := false
+		for _, rr := range g.Adj[s] {
+			if rr == r {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for s, r := range m.ReceiverOf {
+		if r >= 0 && (r >= g.Receivers || m.SenderOf[r] != s) {
+			return false
+		}
+	}
+	return true
+}
+
+// PIM runs the classic three-stage protocol for the given number of
+// rounds: unmatched senders request every unmatched neighbor, each
+// unmatched receiver grants one request uniformly at random, and each
+// sender accepts one received grant uniformly at random.
+func PIM(g *Graph, rounds int, rng *rand.Rand) *Matching {
+	m := &Matching{
+		SenderOf:   fillNeg(g.Receivers),
+		ReceiverOf: fillNeg(g.Senders),
+	}
+	grants := make([][]int, g.Senders) // grants[s] = receivers granting s
+	for round := 0; round < rounds; round++ {
+		// Request + grant stage: each unmatched receiver collects its
+		// incident requests and grants one. Building receiver-side request
+		// lists explicitly keeps the random choice uniform.
+		requests := make([][]int, g.Receivers)
+		active := false
+		for s := 0; s < g.Senders; s++ {
+			if m.ReceiverOf[s] >= 0 {
+				continue
+			}
+			for _, r := range g.Adj[s] {
+				if m.SenderOf[r] < 0 {
+					requests[r] = append(requests[r], s)
+					active = true
+				}
+			}
+		}
+		if !active {
+			break // converged: maximal matching reached
+		}
+		for s := range grants {
+			grants[s] = grants[s][:0]
+		}
+		for r := 0; r < g.Receivers; r++ {
+			if m.SenderOf[r] >= 0 || len(requests[r]) == 0 {
+				continue
+			}
+			s := requests[r][rng.Intn(len(requests[r]))]
+			grants[s] = append(grants[s], r)
+		}
+		// Accept stage.
+		for s := 0; s < g.Senders; s++ {
+			if len(grants[s]) == 0 || m.ReceiverOf[s] >= 0 {
+				continue
+			}
+			r := grants[s][rng.Intn(len(grants[s]))]
+			m.ReceiverOf[s] = r
+			m.SenderOf[r] = s
+		}
+	}
+	return m
+}
+
+// ConvergedPIM runs PIM until it reaches a maximal matching (PIM always
+// converges; ~log n rounds in expectation). This is the paper's M*.
+func ConvergedPIM(g *Graph, rng *rand.Rand) *Matching {
+	n := g.Senders
+	if g.Receivers > n {
+		n = g.Receivers
+	}
+	// PIM resolves ≥ 3/4 of requests per round in expectation; 4·log₂(n)+8
+	// rounds make non-convergence vanishingly unlikely, and the early-exit
+	// in PIM stops as soon as the matching is maximal.
+	rounds := 4*int(math.Ceil(math.Log2(float64(n+1)))) + 8
+	return PIM(g, rounds, rng)
+}
+
+// TheoremBound returns Theorem 1's guaranteed fraction of M* that dcPIM
+// reaches after r rounds on a graph with average degree delta when PIM's
+// converged matching has size n/alpha: 1 − delta·alpha/4^r (clamped ≥ 0).
+func TheoremBound(delta, alpha float64, r int) float64 {
+	b := 1 - delta*alpha/math.Pow(4, float64(r))
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+func fillNeg(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = -1
+	}
+	return xs
+}
+
+// RoundsToMaximal runs PIM until the matching is maximal and returns how
+// many rounds it took — the quantity PIM's classic ~log n analysis bounds
+// and Theorem 1 sidesteps. Useful for convergence studies (cmd/pimlab).
+func RoundsToMaximal(g *Graph, rng *rand.Rand) int {
+	m := &Matching{
+		SenderOf:   fillNeg(g.Receivers),
+		ReceiverOf: fillNeg(g.Senders),
+	}
+	grants := make([][]int, g.Senders)
+	for round := 0; ; round++ {
+		requests := make([][]int, g.Receivers)
+		active := false
+		for s := 0; s < g.Senders; s++ {
+			if m.ReceiverOf[s] >= 0 {
+				continue
+			}
+			for _, r := range g.Adj[s] {
+				if m.SenderOf[r] < 0 {
+					requests[r] = append(requests[r], s)
+					active = true
+				}
+			}
+		}
+		if !active {
+			return round
+		}
+		for s := range grants {
+			grants[s] = grants[s][:0]
+		}
+		for r := 0; r < g.Receivers; r++ {
+			if m.SenderOf[r] >= 0 || len(requests[r]) == 0 {
+				continue
+			}
+			s := requests[r][rng.Intn(len(requests[r]))]
+			grants[s] = append(grants[s], r)
+		}
+		for s := 0; s < g.Senders; s++ {
+			if len(grants[s]) == 0 || m.ReceiverOf[s] >= 0 {
+				continue
+			}
+			r := grants[s][rng.Intn(len(grants[s]))]
+			m.ReceiverOf[s] = r
+			m.SenderOf[r] = s
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package netsim simulates a datacenter network fabric at packet level on
+// top of the sim engine: hosts with NIC egress queues, output-queued
+// switches with eight strict-priority queues and shared per-port buffers,
+// per-packet spraying or per-flow ECMP multipathing, and the switch
+// dataplane features the evaluated protocols rely on — ECN marking (DCTCP),
+// packet trimming (NDP), priority flow control (HPCC), and in-band network
+// telemetry (HPCC).
+//
+// The fabric is protocol-agnostic: transports implement the Protocol
+// interface and exchange packet.Packets through their Host.
+package netsim
+
+import (
+	"fmt"
+
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+	"dcpim/internal/topo"
+	"dcpim/internal/workload"
+)
+
+// Config selects the fabric's dataplane features. The zero value gives
+// plain drop-tail priority queues with per-packet spraying and the default
+// 500 KB port buffers.
+type Config struct {
+	// PortBufferBytes is the buffer shared by all priority queues of one
+	// switch output port. 0 selects the paper's 500 KB default.
+	PortBufferBytes int64
+	// ECNThresholdBytes marks Data packets (ECN bit) enqueued while the
+	// port holds at least this many bytes. 0 disables marking.
+	ECNThresholdBytes int64
+	// TrimThresholdBytes trims Data packets to headers instead of
+	// dropping when the port holds at least this many bytes (NDP).
+	// 0 disables trimming.
+	TrimThresholdBytes int64
+	// AeolusThresholdBytes drops *unscheduled* Data packets (Unsched set)
+	// arriving when the port holds at least this many bytes — Aeolus's
+	// selective dropping. 0 disables.
+	AeolusThresholdBytes int64
+	// EnablePFC turns on hop-by-hop priority flow control with the given
+	// per-ingress pause/resume watermarks (bytes buffered at the
+	// downstream node attributable to one ingress).
+	EnablePFC bool
+	PFCPause  int64
+	PFCResume int64
+	// Spray selects per-packet uniform spraying across equal-cost ports;
+	// when false the fabric ECMP-hashes on the flow id.
+	Spray bool
+	// HostQueueBytes bounds the NIC egress queue. 0 means effectively
+	// unbounded (protocols are trusted to pace themselves).
+	HostQueueBytes int64
+	// RandomLossRate drops each packet (data AND control) at each switch
+	// enqueue with this probability — failure injection for protocol
+	// robustness tests. 0 disables.
+	RandomLossRate float64
+}
+
+// DefaultPortBuffer is the paper's per-port buffer (Table 1).
+const DefaultPortBuffer = 500 << 10
+
+// Counters aggregates fabric-wide dataplane statistics.
+type Counters struct {
+	DataDrops      int64
+	CtrlDrops      int64
+	Trims          int64
+	AeolusDrops    int64
+	ECNMarks       int64
+	PFCPauses      int64
+	PFCResumes     int64
+	DeliveredData  int64 // data packets handed to destination protocols
+	DeliveredBytes int64 // wire bytes of those packets
+	HostDrops      int64 // NIC egress overflow (bounded host queues only)
+}
+
+// Protocol is a transport running on one host. The fabric calls Start once
+// before the simulation begins, OnFlowArrival when the workload hands the
+// host a new flow to send, and OnPacket for every packet addressed to the
+// host. Implementations schedule their own timers through Host.Engine.
+type Protocol interface {
+	Start(h *Host)
+	OnFlowArrival(f workload.Flow)
+	OnPacket(p *packet.Packet)
+}
+
+// Fabric is an instantiated network: topology + devices + configuration.
+type Fabric struct {
+	eng  *sim.Engine
+	topo *topo.Topology
+	cfg  Config
+
+	hosts    []*Host
+	switches []*swDev
+
+	Counters Counters
+
+	// DeliverHook, when set, observes every packet delivered to a
+	// destination protocol (after host stack delay). Experiments use it
+	// for utilization time series.
+	DeliverHook func(host int, p *packet.Packet)
+	// DropHook, when set, observes every packet dropped at a switch or
+	// NIC queue (tracing, debugging).
+	DropHook func(p *packet.Packet)
+	// TrimHook, when set, observes every packet trimmed to a header.
+	TrimHook func(p *packet.Packet)
+}
+
+// New builds a fabric over the topology. Protocols are attached afterwards
+// with AttachProtocol (every host must have one before Run).
+func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Fabric {
+	if cfg.PortBufferBytes == 0 {
+		cfg.PortBufferBytes = DefaultPortBuffer
+	}
+	if cfg.HostQueueBytes == 0 {
+		cfg.HostQueueBytes = 1 << 40
+	}
+	if cfg.EnablePFC {
+		if cfg.PFCPause == 0 {
+			cfg.PFCPause = cfg.PortBufferBytes / 2
+		}
+		if cfg.PFCResume == 0 {
+			cfg.PFCResume = cfg.PFCPause / 2
+		}
+	}
+	f := &Fabric{eng: eng, topo: t, cfg: cfg}
+
+	f.switches = make([]*swDev, len(t.Switches))
+	for i, sw := range t.Switches {
+		d := &swDev{fab: f, spec: sw}
+		d.ports = make([]*outPort, len(sw.Ports))
+		d.ingressBytes = make([]int64, len(sw.Ports)+1)
+		for pi, p := range sw.Ports {
+			d.ports[pi] = &outPort{
+				fab: f, rate: p.Rate, delay: p.Delay,
+				capacity: cfg.PortBufferBytes,
+				owner:    d, ownerPort: pi,
+			}
+		}
+		f.switches[i] = d
+	}
+	f.hosts = make([]*Host, t.NumHosts)
+	for h := 0; h < t.NumHosts; h++ {
+		up := t.HostLink
+		host := &Host{id: h, fab: f}
+		host.nic = &outPort{
+			fab: f, rate: up.Rate, delay: up.Delay,
+			capacity: cfg.HostQueueBytes,
+			hostNIC:  host,
+		}
+		f.hosts[h] = host
+	}
+	return f
+}
+
+// Engine returns the event engine driving the fabric.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// Topology returns the fabric's topology.
+func (f *Fabric) Topology() *topo.Topology { return f.topo }
+
+// Host returns host h.
+func (f *Fabric) Host(h int) *Host { return f.hosts[h] }
+
+// AttachProtocol installs p on host h.
+func (f *Fabric) AttachProtocol(h int, p Protocol) {
+	f.hosts[h].proto = p
+}
+
+// Start calls Start on every attached protocol. Must run before events.
+func (f *Fabric) Start() {
+	for _, h := range f.hosts {
+		if h.proto == nil {
+			panic(fmt.Sprintf("netsim: host %d has no protocol", h.id))
+		}
+		h.proto.Start(h)
+	}
+}
+
+// Inject schedules every flow of the trace as an arrival event at its
+// sender.
+func (f *Fabric) Inject(tr *workload.Trace) {
+	for _, fl := range tr.Flows {
+		fl := fl
+		f.eng.Schedule(fl.Arrival, func() {
+			f.hosts[fl.Src].proto.OnFlowArrival(fl)
+		})
+	}
+}
+
+// Host is one end host: a protocol instance plus a NIC egress queue.
+type Host struct {
+	id    int
+	fab   *Fabric
+	proto Protocol
+	nic   *outPort
+}
+
+// ID returns the host id.
+func (h *Host) ID() int { return h.id }
+
+// Engine returns the shared event engine.
+func (h *Host) Engine() *sim.Engine { return h.fab.eng }
+
+// Topo returns the topology (for RTT/BDP math in protocols).
+func (h *Host) Topo() *topo.Topology { return h.fab.topo }
+
+// LineRate returns the host's access link rate in bits per second.
+func (h *Host) LineRate() float64 { return h.nic.rate }
+
+// NICQueuedBytes returns the bytes currently queued in the NIC, which
+// window/pacing protocols use to avoid building local queues.
+func (h *Host) NICQueuedBytes() int64 { return h.nic.queuedBytes }
+
+// Send hands a packet to the NIC after the host's stack latency. The
+// packet must have Src == h.ID(); the fabric owns it afterwards.
+func (h *Host) Send(p *packet.Packet) {
+	if p.Src != h.id {
+		panic("netsim: packet Src does not match sending host")
+	}
+	p.SentAt = h.fab.eng.Now()
+	h.fab.eng.After(h.fab.topo.HostDelay, func() {
+		h.nic.enqueue(p)
+	})
+}
+
+// deliver passes a packet up the receive stack to the protocol.
+func (h *Host) deliver(p *packet.Packet) {
+	h.fab.eng.After(h.fab.topo.HostDelay, func() {
+		if p.Kind == packet.Data {
+			h.fab.Counters.DeliveredData++
+			h.fab.Counters.DeliveredBytes += int64(p.Size)
+		}
+		if h.fab.DeliverHook != nil {
+			h.fab.DeliverHook(h.id, p)
+		}
+		h.proto.OnPacket(p)
+	})
+}
+
+// swDev is a running switch: per-port output queues plus PFC state.
+type swDev struct {
+	fab   *Fabric
+	spec  *topo.Switch
+	ports []*outPort
+
+	// ingressBytes tracks, per ingress port, bytes currently buffered in
+	// this switch that arrived through that port (PFC accounting). Index
+	// len(ports) is used for packets from directly attached hosts, which
+	// are never paused collectively — host pause state is per host port.
+	ingressBytes []int64
+	paused       []bool // lazily sized; whether we've paused each ingress
+}
+
+// receive handles a packet arriving at the switch from ingress port `in`
+// (-1 for host-attached arrivals; those are accounted per their host
+// port). Processing latency is applied before enqueueing.
+func (d *swDev) receive(p *packet.Packet, in int) {
+	d.fab.eng.After(d.fab.topo.SwitchDelay, func() { d.forward(p, in) })
+}
+
+func (d *swDev) forward(p *packet.Packet, in int) {
+	if p.Dst < 0 || p.Dst >= d.fab.topo.NumHosts {
+		panic("netsim: packet to unknown host")
+	}
+	cands := d.spec.Routes[p.Dst]
+	var pi int32
+	switch {
+	case len(cands) == 1:
+		pi = cands[0]
+	case d.fab.cfg.Spray:
+		pi = cands[d.fab.eng.Rand().Intn(len(cands))]
+	default:
+		pi = cands[ecmpHash(p.Flow, p.Src, p.Dst)%uint64(len(cands))]
+	}
+	port := d.ports[pi]
+	port.enqueueAt(p, d, in)
+}
+
+// ecmpHash mixes flow identity into a path choice (64-bit splitmix).
+func ecmpHash(flow uint64, src, dst int) uint64 {
+	x := flow*0x9e3779b97f4a7c15 + uint64(src)<<32 + uint64(dst)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// MaxPortQueue returns the highest buffer occupancy any switch output
+// port reached during the run, in bytes. The paper argues dcPIM bounds
+// this near one BDP (token windows admit exactly one RTT of data);
+// experiments and tests assert it.
+func (f *Fabric) MaxPortQueue() int64 {
+	var max int64
+	for _, sw := range f.switches {
+		for _, p := range sw.ports {
+			if p.maxQueued > max {
+				max = p.maxQueued
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,254 @@
+package netsim
+
+import (
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+)
+
+// queued is one buffered packet plus the ingress port it arrived through
+// (for PFC accounting; -1 when not applicable).
+type queued struct {
+	p  *packet.Packet
+	in int
+}
+
+// outPort models one transmit side of a full-duplex link: eight
+// strict-priority FIFO queues sharing a byte budget, a serializing
+// transmitter, and the attached link's rate and propagation delay.
+// A port belongs either to a switch (owner set) or to a host NIC
+// (hostNIC set).
+type outPort struct {
+	fab      *Fabric
+	rate     float64
+	delay    sim.Duration
+	capacity int64
+
+	owner     *swDev // nil for host NICs
+	ownerPort int
+	hostNIC   *Host // nil for switch ports
+
+	queues      [packet.NumPriorities][]queued
+	heads       [packet.NumPriorities]int
+	queuedBytes int64
+	maxQueued   int64 // high-water mark of queuedBytes
+	txBytes     int64 // cumulative bytes transmitted (INT)
+	busy        bool
+	paused      bool
+}
+
+// enqueue is the host-NIC entry point: plain drop-tail, no dataplane
+// features (a host never trims or marks its own packets).
+func (o *outPort) enqueue(p *packet.Packet) {
+	if o.queuedBytes+int64(p.Size) > o.capacity {
+		o.fab.Counters.HostDrops++
+		o.fab.dropped(p)
+		return
+	}
+	o.push(p, -1)
+}
+
+// enqueueAt is the switch entry point, applying Aeolus selective dropping,
+// NDP trimming, ECN marking, and drop-tail in that order, then PFC
+// accounting for the ingress the packet came through.
+func (o *outPort) enqueueAt(p *packet.Packet, sw *swDev, in int) {
+	cfg := &o.fab.cfg
+	if cfg.RandomLossRate > 0 && o.fab.eng.Rand().Float64() < cfg.RandomLossRate {
+		if p.Kind == packet.Data {
+			o.fab.Counters.DataDrops++
+		} else {
+			o.fab.Counters.CtrlDrops++
+		}
+		o.fab.dropped(p)
+		return
+	}
+	isData := p.Kind == packet.Data && !p.Trimmed
+
+	if isData && p.Unsched && cfg.AeolusThresholdBytes > 0 &&
+		o.queuedBytes >= cfg.AeolusThresholdBytes {
+		o.fab.Counters.AeolusDrops++
+		o.fab.Counters.DataDrops++
+		o.fab.dropped(p)
+		return
+	}
+	// Trimming applies to regular data only: NDP carries retransmissions
+	// in a protected high-priority queue (modeled as PrioShort) precisely
+	// so they are not trimmed twice.
+	if isData && p.Priority >= packet.PrioDataHigh &&
+		cfg.TrimThresholdBytes > 0 && o.queuedBytes >= cfg.TrimThresholdBytes {
+		p.Trimmed = true
+		p.Size = packet.HeaderSize
+		p.Priority = packet.PrioControl
+		o.fab.Counters.Trims++
+		if o.fab.TrimHook != nil {
+			o.fab.TrimHook(p)
+		}
+		isData = false
+	}
+	if o.queuedBytes+int64(p.Size) > o.capacity {
+		if p.Kind == packet.Data {
+			o.fab.Counters.DataDrops++
+		} else {
+			o.fab.Counters.CtrlDrops++
+		}
+		o.fab.dropped(p)
+		return
+	}
+	if isData && cfg.ECNThresholdBytes > 0 && o.queuedBytes >= cfg.ECNThresholdBytes {
+		p.ECN = true
+		o.fab.Counters.ECNMarks++
+	}
+	o.push(p, in)
+	if cfg.EnablePFC && in >= 0 {
+		sw.ingressBytes[in] += int64(p.Size)
+		sw.checkPause(in)
+	}
+}
+
+// push appends to the packet's priority queue and kicks the transmitter.
+func (o *outPort) push(p *packet.Packet, in int) {
+	pr := p.Priority
+	if int(pr) >= packet.NumPriorities {
+		pr = packet.NumPriorities - 1
+	}
+	o.queues[pr] = append(o.queues[pr], queued{p, in})
+	o.queuedBytes += int64(p.Size)
+	if o.queuedBytes > o.maxQueued {
+		o.maxQueued = o.queuedBytes
+	}
+	o.tryTransmit()
+}
+
+// pop removes the highest-priority head-of-line packet.
+func (o *outPort) pop() (queued, bool) {
+	for pr := 0; pr < packet.NumPriorities; pr++ {
+		q := o.queues[pr]
+		h := o.heads[pr]
+		if h >= len(q) {
+			continue
+		}
+		el := q[h]
+		q[h] = queued{}
+		h++
+		switch {
+		case h == len(q):
+			// Empty: reset to reuse the backing array.
+			o.queues[pr] = q[:0]
+			h = 0
+		case h > 64 && h*2 > len(q):
+			// Compact once the dead prefix dominates, amortized O(1).
+			n := copy(q, q[h:])
+			o.queues[pr] = q[:n]
+			h = 0
+		}
+		o.heads[pr] = h
+		o.queuedBytes -= int64(el.p.Size)
+		return el, true
+	}
+	return queued{}, false
+}
+
+// tryTransmit starts serializing the next packet if the port is idle and
+// not PFC-paused.
+func (o *outPort) tryTransmit() {
+	if o.busy || o.paused {
+		return
+	}
+	el, ok := o.pop()
+	if !ok {
+		return
+	}
+	o.busy = true
+	p := el.p
+
+	// Release PFC accounting as soon as the packet leaves the buffer.
+	if o.owner != nil && o.fab.cfg.EnablePFC && el.in >= 0 {
+		o.owner.ingressBytes[el.in] -= int64(p.Size)
+		o.owner.checkResume(el.in)
+	}
+
+	tx := sim.TransmissionTime(p.Size, o.rate)
+	o.txBytes += int64(p.Size)
+	if p.CollectINT {
+		p.INT = append(p.INT, packet.INTHop{
+			QueueBytes: o.queuedBytes,
+			TxBytes:    o.txBytes,
+			Timestamp:  o.fab.eng.Now(),
+			RateBps:    o.rate,
+		})
+	}
+	eng := o.fab.eng
+	eng.After(tx, func() {
+		o.busy = false
+		o.tryTransmit()
+	})
+	eng.After(tx+o.delay, func() { o.deliverToPeer(p) })
+}
+
+// deliverToPeer hands the packet to the device at the far end of the link.
+func (o *outPort) deliverToPeer(p *packet.Packet) {
+	if o.hostNIC != nil {
+		// Host NIC → its ToR; the packet enters through the ToR port
+		// facing this host.
+		h := o.hostNIC.id
+		tor := o.fab.switches[o.fab.topo.HostSwitch[h]]
+		tor.receive(p, o.fab.topo.HostPort[h])
+		return
+	}
+	spec := o.owner.spec.Ports[o.ownerPort]
+	if spec.ToHost {
+		o.fab.hosts[spec.Peer].deliver(p)
+		return
+	}
+	o.fab.switches[spec.Peer].receive(p, spec.PeerPort)
+}
+
+// checkPause sends a PFC pause upstream when an ingress's buffered bytes
+// cross the pause watermark.
+func (d *swDev) checkPause(in int) {
+	if d.paused == nil {
+		d.paused = make([]bool, len(d.ports))
+	}
+	if d.paused[in] || d.ingressBytes[in] < d.fab.cfg.PFCPause {
+		return
+	}
+	d.paused[in] = true
+	d.fab.Counters.PFCPauses++
+	d.signalUpstream(in, true)
+}
+
+// checkResume lifts the pause once the ingress drains below the resume
+// watermark.
+func (d *swDev) checkResume(in int) {
+	if d.paused == nil || !d.paused[in] || d.ingressBytes[in] > d.fab.cfg.PFCResume {
+		return
+	}
+	d.paused[in] = false
+	d.fab.Counters.PFCResumes++
+	d.signalUpstream(in, false)
+}
+
+// signalUpstream delivers a pause/resume to the transmitter feeding
+// ingress port in. PFC frames are modeled as link-level control that
+// arrives after the propagation delay without queueing.
+func (d *swDev) signalUpstream(in int, pause bool) {
+	spec := d.spec.Ports[in]
+	var up *outPort
+	if spec.ToHost {
+		up = d.fab.hosts[spec.Peer].nic
+	} else {
+		up = d.fab.switches[spec.Peer].ports[spec.PeerPort]
+	}
+	d.fab.eng.After(spec.Delay, func() {
+		up.paused = pause
+		if !pause {
+			up.tryTransmit()
+		}
+	})
+}
+
+// dropped routes a drop to the DropHook, if any.
+func (f *Fabric) dropped(p *packet.Packet) {
+	if f.DropHook != nil {
+		f.DropHook(p)
+	}
+}

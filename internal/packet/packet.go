@@ -1,0 +1,178 @@
+// Package packet defines the wire-level packet model shared by every
+// transport protocol in the simulator. Following the layered-constant idiom
+// of packet libraries, each packet carries a typed Kind, a priority class
+// (0 is highest, mapped to switch priority queues), addressing, and a small
+// set of protocol-specific header fields. One struct serves all protocols;
+// unused fields cost nothing and keep the fabric simulator free of
+// per-protocol knowledge.
+package packet
+
+import (
+	"fmt"
+
+	"dcpim/internal/sim"
+)
+
+// Kind identifies the role of a packet. Control kinds are small (HeaderSize
+// bytes on the wire) and are sent at the highest priority by proactive
+// protocols, making the fabric effectively lossless for them.
+type Kind uint8
+
+const (
+	// Data carries flow payload.
+	Data Kind = iota
+	// Notification announces a new flow from sender to receiver (dcPIM,
+	// pHost) and may carry the flow size.
+	Notification
+	// NotificationAck acknowledges a Notification (dcPIM).
+	NotificationAck
+	// FinishSender tells the receiver the sender transmitted all packets.
+	FinishSender
+	// FinishReceiver confirms the receiver got all packets of a flow.
+	FinishReceiver
+	// Token admits one data packet (receiver-driven protocols).
+	Token
+	// RTS is a matching-phase request (dcPIM: receiver → sender).
+	RTS
+	// Grant is a matching-phase grant (dcPIM: sender → receiver; Homa:
+	// receiver → sender scheduled credit).
+	Grant
+	// Accept is a matching-phase accept (dcPIM: receiver → sender).
+	Accept
+	// Nack reports a trimmed packet (NDP).
+	Nack
+	// Pull requests (re)transmission of one packet (NDP pull clock).
+	Pull
+	// Ack is a transport acknowledgement (HPCC, DCTCP, Cubic) and may echo
+	// INT telemetry or ECN state.
+	Ack
+	// Pause and Resume are PFC hop-by-hop flow control frames.
+	Pause
+	// ResumeKind resumes a PFC-paused priority ("Resume" would collide
+	// with no method but reads oddly as a const; keep the Kind suffix).
+	ResumeKind
+)
+
+var kindNames = [...]string{
+	"DATA", "NOTIF", "NOTIF-ACK", "FIN-SND", "FIN-RCV", "TOKEN",
+	"RTS", "GRANT", "ACCEPT", "NACK", "PULL", "ACK", "PAUSE", "RESUME",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("KIND(%d)", uint8(k))
+}
+
+// IsControl reports whether the kind is a control packet (everything except
+// Data). Trimmed data packets remain Kind Data with Trimmed set.
+func (k Kind) IsControl() bool { return k != Data }
+
+// Wire sizes in bytes. MTU is the maximum on-wire packet size including
+// headers; HeaderSize is the size of any control packet and of a trimmed
+// data packet; PayloadSize is the useful payload per full data packet.
+const (
+	MTU         = 1500
+	HeaderSize  = 64
+	PayloadSize = MTU - HeaderSize
+)
+
+// PacketsForBytes returns the number of data packets needed to carry size
+// payload bytes.
+func PacketsForBytes(size int64) int {
+	if size <= 0 {
+		return 0
+	}
+	return int((size + PayloadSize - 1) / PayloadSize)
+}
+
+// Priority classes. Switches have NumPriorities queues; 0 drains first.
+const (
+	NumPriorities = 8
+	// PrioControl is the class for all control packets.
+	PrioControl = 0
+	// PrioShort is the class proactive protocols use for short-flow data.
+	PrioShort = 1
+	// PrioDataHigh..PrioDataLow are available for scheduled/long data.
+	PrioDataHigh = 2
+	PrioDataLow  = NumPriorities - 1
+)
+
+// INTHop is one hop's worth of in-band network telemetry, appended by each
+// traversed output port when Packet.CollectINT is set (HPCC).
+type INTHop struct {
+	QueueBytes int64    // queue length at dequeue
+	TxBytes    int64    // cumulative bytes transmitted by the port
+	Timestamp  sim.Time // dequeue time
+	RateBps    float64  // port line rate
+}
+
+// Packet is a simulated packet. Packets are heap-allocated and owned by the
+// fabric once sent; protocols must not retain or mutate a packet after
+// handing it to the fabric, and must treat received packets as read-only.
+type Packet struct {
+	Kind     Kind
+	Src, Dst int    // host ids
+	Flow     uint64 // flow id (0 = none)
+	Seq      int    // data/token sequence number within the flow
+	Size     int    // bytes on the wire
+	Priority uint8  // 0 (highest) .. NumPriorities-1
+
+	// Transport header fields; which are meaningful depends on Kind and
+	// the protocol in use.
+	FlowSize  int64 // total flow payload bytes (Notification, RTS)
+	Remaining int64 // remaining payload bytes (RTS, Grant for SRPT choices)
+	CumAck    int   // cumulative ack: smallest seq not yet received
+	Round     int   // matching round (dcPIM RTS/Grant/Accept)
+	Epoch     int64 // matching epoch (dcPIM)
+	Channels  int   // number of channels requested/granted/accepted (dcPIM)
+	Count     int   // generic count (FinishSender: packets sent; Homa grant: granted prio)
+
+	// Fabric-maintained state.
+	ECN        bool     // congestion-experienced mark
+	Trimmed    bool     // payload was trimmed to a header (NDP)
+	Unsched    bool     // unscheduled data, eligible for selective drop (Aeolus)
+	CollectINT bool     // gather per-hop telemetry (HPCC)
+	INT        []INTHop // telemetry, appended per hop
+	SentAt     sim.Time // when the source host handed the packet to its NIC
+	PauseClass uint8    // priority class a Pause/Resume applies to
+}
+
+// String renders a compact one-line description for traces and tests.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %d->%d flow=%d seq=%d size=%d prio=%d",
+		p.Kind, p.Src, p.Dst, p.Flow, p.Seq, p.Size, p.Priority)
+}
+
+// NewControl builds a control packet of the given kind between two hosts at
+// the control priority with the standard control size.
+func NewControl(kind Kind, src, dst int, flow uint64) *Packet {
+	return &Packet{
+		Kind: kind, Src: src, Dst: dst, Flow: flow,
+		Size: HeaderSize, Priority: PrioControl,
+	}
+}
+
+// NewData builds a full-size data packet for one MTU of flow payload.
+// The final packet of a flow may be smaller; callers size it explicitly.
+func NewData(src, dst int, flow uint64, seq int, size int, prio uint8) *Packet {
+	return &Packet{
+		Kind: Data, Src: src, Dst: dst, Flow: flow, Seq: seq,
+		Size: size, Priority: prio,
+	}
+}
+
+// DataPacketSize returns the on-wire size of data packet seq (0-indexed) of
+// a flow with the given payload size: full MTUs except a short tail.
+func DataPacketSize(flowSize int64, seq int) int {
+	n := PacketsForBytes(flowSize)
+	if seq < 0 || seq >= n {
+		return 0
+	}
+	if seq < n-1 {
+		return MTU
+	}
+	tail := flowSize - int64(n-1)*PayloadSize
+	return int(tail) + HeaderSize
+}

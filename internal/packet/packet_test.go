@@ -1,0 +1,108 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPacketsForBytes(t *testing.T) {
+	cases := []struct {
+		size int64
+		want int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {PayloadSize, 1}, {PayloadSize + 1, 2},
+		{10 * PayloadSize, 10}, {10*PayloadSize + 1, 11},
+	}
+	for _, c := range cases {
+		if got := PacketsForBytes(c.size); got != c.want {
+			t.Errorf("PacketsForBytes(%d) = %d, want %d", c.size, got, c.want)
+		}
+	}
+}
+
+func TestDataPacketSize(t *testing.T) {
+	// A 2.5-packet flow: two full MTUs plus a tail.
+	size := int64(2*PayloadSize + 100)
+	if got := DataPacketSize(size, 0); got != MTU {
+		t.Errorf("pkt 0 size = %d, want %d", got, MTU)
+	}
+	if got := DataPacketSize(size, 1); got != MTU {
+		t.Errorf("pkt 1 size = %d, want %d", got, MTU)
+	}
+	if got := DataPacketSize(size, 2); got != 100+HeaderSize {
+		t.Errorf("tail size = %d, want %d", got, 100+HeaderSize)
+	}
+	if got := DataPacketSize(size, 3); got != 0 {
+		t.Errorf("out-of-range seq size = %d, want 0", got)
+	}
+	if got := DataPacketSize(size, -1); got != 0 {
+		t.Errorf("negative seq size = %d, want 0", got)
+	}
+}
+
+// Property: per-packet wire sizes are consistent with the packet count —
+// every packet is within (HeaderSize, MTU] and payload sums to flow size.
+func TestDataPacketSizeConservation(t *testing.T) {
+	f := func(raw uint32) bool {
+		size := int64(raw%5_000_000) + 1
+		n := PacketsForBytes(size)
+		var payload int64
+		for i := 0; i < n; i++ {
+			w := DataPacketSize(size, i)
+			if w <= HeaderSize || w > MTU {
+				return false
+			}
+			payload += int64(w - HeaderSize)
+		}
+		return payload == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Data.String() != "DATA" || Token.String() != "TOKEN" {
+		t.Fatal("Kind.String mismatch for known kinds")
+	}
+	if Kind(200).String() != "KIND(200)" {
+		t.Fatalf("unknown kind string = %q", Kind(200).String())
+	}
+}
+
+func TestIsControl(t *testing.T) {
+	if Data.IsControl() {
+		t.Fatal("Data must not be control")
+	}
+	for _, k := range []Kind{Notification, NotificationAck, FinishSender,
+		FinishReceiver, Token, RTS, Grant, Accept, Nack, Pull, Ack} {
+		if !k.IsControl() {
+			t.Fatalf("%v must be control", k)
+		}
+	}
+}
+
+func TestNewControl(t *testing.T) {
+	p := NewControl(Token, 3, 7, 42)
+	if p.Kind != Token || p.Src != 3 || p.Dst != 7 || p.Flow != 42 {
+		t.Fatalf("NewControl fields: %v", p)
+	}
+	if p.Size != HeaderSize || p.Priority != PrioControl {
+		t.Fatalf("NewControl size/prio: %v", p)
+	}
+}
+
+func TestNewData(t *testing.T) {
+	p := NewData(1, 2, 9, 5, MTU, PrioShort)
+	if p.Kind != Data || p.Seq != 5 || p.Size != MTU || p.Priority != PrioShort {
+		t.Fatalf("NewData fields: %v", p)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	p := NewData(1, 2, 9, 5, MTU, 3)
+	want := "DATA 1->2 flow=9 seq=5 size=1500 prio=3"
+	if got := p.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,198 @@
+// Package flowtrack provides per-flow sequence bookkeeping shared by the
+// receiver-driven baseline transports (pHost, Homa/Aeolus, NDP): which
+// packets are still needed, which have credit outstanding, and which have
+// arrived. dcPIM keeps its own specialized tracker in internal/core; the
+// baselines reuse this one.
+package flowtrack
+
+import (
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+)
+
+// Seq states.
+const (
+	Needed uint8 = iota // not yet granted/credited
+	Granted
+	Received
+)
+
+// Rx tracks one incoming flow at a receiver.
+type Rx struct {
+	ID      uint64
+	Src     int
+	Size    int64
+	Arrival sim.Time
+	Npkts   int
+
+	state       []uint8
+	nextNew     int
+	retx        []int
+	Outstanding int // granted, data not yet received
+	RecvBytes   int64
+	RecvCnt     int
+	MaxReceived int // highest seq received so far (-1 before any arrival)
+	Done        bool
+}
+
+// NewRx builds receiver state from any packet of the flow (which carries
+// FlowSize and the sender's send timestamp).
+func NewRx(p *packet.Packet) *Rx {
+	n := packet.PacketsForBytes(p.FlowSize)
+	return &Rx{
+		ID: p.Flow, Src: p.Src, Size: p.FlowSize, Arrival: p.SentAt,
+		Npkts: n, state: make([]uint8, n), MaxReceived: -1,
+	}
+}
+
+// Remaining returns bytes not yet received.
+func (f *Rx) Remaining() int64 { return f.Size - f.RecvBytes }
+
+// NeededCnt returns the number of packets in Needed state.
+func (f *Rx) NeededCnt() int { return f.Npkts - f.RecvCnt - f.Outstanding }
+
+// MarkReceived records arrival of seq and returns the payload bytes it
+// contributed (0 for duplicates, out-of-range, or after completion).
+func (f *Rx) MarkReceived(seq, wireSize int) int64 {
+	if f.Done || seq < 0 || seq >= f.Npkts || f.state[seq] == Received {
+		return 0
+	}
+	if f.state[seq] == Granted {
+		f.Outstanding--
+	}
+	f.state[seq] = Received
+	f.RecvCnt++
+	if seq > f.MaxReceived {
+		f.MaxReceived = seq
+	}
+	payload := int64(wireSize) - packet.HeaderSize
+	if payload < 0 {
+		payload = 0
+	}
+	f.RecvBytes += payload
+	if f.RecvBytes >= f.Size {
+		f.Done = true
+	}
+	return payload
+}
+
+// NextNeeded returns the lowest seq still in Needed state, or -1.
+func (f *Rx) NextNeeded() int {
+	for len(f.retx) > 0 {
+		if s := f.retx[0]; f.state[s] == Needed {
+			return s
+		}
+		f.retx = f.retx[1:]
+	}
+	for f.nextNew < f.Npkts && f.state[f.nextNew] != Needed {
+		f.nextNew++
+	}
+	if f.nextNew < f.Npkts {
+		return f.nextNew
+	}
+	return -1
+}
+
+// Grant transitions seq from Needed to Granted (credit sent).
+func (f *Rx) Grant(seq int) {
+	if f.state[seq] != Needed {
+		return
+	}
+	if len(f.retx) > 0 && f.retx[0] == seq {
+		f.retx = f.retx[1:]
+	}
+	f.state[seq] = Granted
+	f.Outstanding++
+}
+
+// SkipGrant marks seq as Granted without Outstanding accounting — used
+// for the unscheduled prefix the sender transmits without credit, so that
+// NextNeeded starts beyond it.
+func (f *Rx) SkipGrant(seq int) {
+	if f.state[seq] == Needed {
+		f.state[seq] = Granted
+		f.Outstanding++
+	}
+}
+
+// RevertStale returns every Granted-but-unreceived seq at or below maxSeq
+// to the Needed state (timeout-driven loss recovery) and reports how many
+// were reverted.
+func (f *Rx) RevertStale(maxSeq int) int {
+	if f.Done {
+		return 0
+	}
+	n := 0
+	if maxSeq >= f.Npkts {
+		maxSeq = f.Npkts - 1
+	}
+	for seq := 0; seq <= maxSeq; seq++ {
+		if f.state[seq] == Granted {
+			f.state[seq] = Needed
+			f.Outstanding--
+			f.retx = append(f.retx, seq)
+			n++
+		}
+	}
+	return n
+}
+
+// State exposes a seq's state (tests and protocol edge cases).
+func (f *Rx) State(seq int) uint8 { return f.state[seq] }
+
+// Tx tracks one outgoing flow at a sender.
+type Tx struct {
+	ID      uint64
+	Dst     int
+	Size    int64
+	Arrival sim.Time
+	Npkts   int
+
+	sent    []bool
+	SentCnt int
+	Done    bool
+}
+
+// NewTx builds sender state for a flow.
+func NewTx(id uint64, dst int, size int64, arrival sim.Time) *Tx {
+	return &Tx{
+		ID: id, Dst: dst, Size: size, Arrival: arrival,
+		Npkts: packet.PacketsForBytes(size),
+		sent:  make([]bool, packet.PacketsForBytes(size)),
+	}
+}
+
+// MarkSent records transmission of seq (idempotent).
+func (f *Tx) MarkSent(seq int) {
+	if seq >= 0 && seq < f.Npkts && !f.sent[seq] {
+		f.sent[seq] = true
+		f.SentCnt++
+	}
+}
+
+// Sent reports whether seq was ever transmitted.
+func (f *Tx) Sent(seq int) bool { return seq >= 0 && seq < f.Npkts && f.sent[seq] }
+
+// RemainingBytes approximates untransmitted payload.
+func (f *Tx) RemainingBytes() int64 {
+	return int64(f.Npkts-f.SentCnt) * packet.PayloadSize
+}
+
+// Release frees a completed flow's bulk state while keeping the Done
+// marker, so duplicate packets arriving later resolve against a finished
+// flow instead of recreating it (which would double-count delivery).
+func (f *Rx) Release() {
+	f.state = nil
+	f.retx = nil
+}
+
+// RevertGaps returns Granted-but-unreceived seqs that sit more than slack
+// packets below the highest received seq back to Needed — the gap-based
+// drop detector: a later packet arrived, so anything this far behind it
+// was dropped, not merely delayed. Returns the number reverted.
+func (f *Rx) RevertGaps(slack int) int {
+	if f.Done || f.MaxReceived < 0 {
+		return 0
+	}
+	return f.RevertStale(f.MaxReceived - slack)
+}

@@ -1,0 +1,178 @@
+package flowtrack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcpim/internal/packet"
+)
+
+func rxFor(size int64) *Rx {
+	p := &packet.Packet{Flow: 1, Src: 2, FlowSize: size}
+	return NewRx(p)
+}
+
+func TestRxLifecycle(t *testing.T) {
+	f := rxFor(3 * packet.PayloadSize)
+	if f.Npkts != 3 || f.NeededCnt() != 3 {
+		t.Fatalf("npkts=%d needed=%d", f.Npkts, f.NeededCnt())
+	}
+	if s := f.NextNeeded(); s != 0 {
+		t.Fatalf("NextNeeded = %d, want 0", s)
+	}
+	f.Grant(0)
+	if f.Outstanding != 1 || f.NextNeeded() != 1 {
+		t.Fatalf("after grant: outstanding=%d next=%d", f.Outstanding, f.NextNeeded())
+	}
+	if got := f.MarkReceived(0, packet.MTU); got != packet.PayloadSize {
+		t.Fatalf("payload = %d", got)
+	}
+	if f.Outstanding != 0 {
+		t.Fatal("outstanding not decremented")
+	}
+	// Duplicate is ignored.
+	if got := f.MarkReceived(0, packet.MTU); got != 0 {
+		t.Fatal("duplicate counted")
+	}
+	f.MarkReceived(1, packet.MTU)
+	f.MarkReceived(2, packet.MTU)
+	if !f.Done || f.Remaining() != 0 {
+		t.Fatalf("done=%v remaining=%d", f.Done, f.Remaining())
+	}
+}
+
+func TestRxRevertStale(t *testing.T) {
+	f := rxFor(5 * packet.PayloadSize)
+	for i := 0; i < 4; i++ {
+		f.Grant(f.NextNeeded())
+	}
+	f.MarkReceived(1, packet.MTU)
+	// Seqs 0,2,3 are granted-unreceived; 4 still needed.
+	if n := f.RevertStale(f.Npkts); n != 3 {
+		t.Fatalf("reverted %d, want 3", n)
+	}
+	if f.Outstanding != 0 {
+		t.Fatalf("outstanding = %d", f.Outstanding)
+	}
+	// Reverted seqs come back first, lowest first.
+	if s := f.NextNeeded(); s != 0 {
+		t.Fatalf("next = %d, want 0 (retx first)", s)
+	}
+	f.Grant(0)
+	if s := f.NextNeeded(); s != 2 {
+		t.Fatalf("next = %d, want 2", s)
+	}
+}
+
+func TestRxSkipGrant(t *testing.T) {
+	f := rxFor(10 * packet.PayloadSize)
+	for i := 0; i < 3; i++ {
+		f.SkipGrant(i) // unscheduled prefix
+	}
+	if s := f.NextNeeded(); s != 3 {
+		t.Fatalf("next = %d, want 3 (prefix skipped)", s)
+	}
+	// Unreceived unscheduled packets revert like anything else.
+	f.MarkReceived(0, packet.MTU)
+	if n := f.RevertStale(2); n != 2 {
+		t.Fatalf("reverted %d, want 2", n)
+	}
+}
+
+func TestRxTrimmedDelivery(t *testing.T) {
+	f := rxFor(2 * packet.PayloadSize)
+	// A trimmed packet (header only) contributes zero payload and must
+	// not complete the flow.
+	if got := f.MarkReceived(0, packet.HeaderSize); got != 0 {
+		t.Fatalf("trimmed payload = %d", got)
+	}
+	if f.Done {
+		t.Fatal("flow done after header-only arrival")
+	}
+}
+
+func TestTxLifecycle(t *testing.T) {
+	f := NewTx(7, 3, 2*packet.PayloadSize+10, 0)
+	if f.Npkts != 3 {
+		t.Fatalf("npkts = %d", f.Npkts)
+	}
+	f.MarkSent(0)
+	f.MarkSent(0)
+	if f.SentCnt != 1 || !f.Sent(0) || f.Sent(1) {
+		t.Fatalf("sent bookkeeping broken: cnt=%d", f.SentCnt)
+	}
+	if f.RemainingBytes() != 2*packet.PayloadSize {
+		t.Fatalf("remaining = %d", f.RemainingBytes())
+	}
+}
+
+// Property: conservation — needed + outstanding + received == npkts under
+// arbitrary interleavings of grant/receive/revert.
+func TestRxConservationProperty(t *testing.T) {
+	f := func(ops []uint16, sizeRaw uint16) bool {
+		size := int64(sizeRaw%50+1) * packet.PayloadSize
+		fl := rxFor(size)
+		for _, op := range ops {
+			seq := int(op) % fl.Npkts
+			switch op % 3 {
+			case 0:
+				if s := fl.NextNeeded(); s >= 0 {
+					fl.Grant(s)
+				}
+			case 1:
+				if !fl.Done {
+					fl.MarkReceived(seq, packet.MTU)
+				}
+			case 2:
+				fl.RevertStale(seq)
+			}
+			if fl.Done {
+				break
+			}
+			needed := 0
+			for s := 0; s < fl.Npkts; s++ {
+				if fl.State(s) == Needed {
+					needed++
+				}
+			}
+			if needed+fl.Outstanding+fl.RecvCnt != fl.Npkts {
+				return false
+			}
+			if fl.NeededCnt() != needed || fl.Outstanding < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextNeeded always returns a Needed seq and never skips one
+// forever — repeatedly granting NextNeeded exhausts the flow.
+func TestNextNeededExhaustsProperty(t *testing.T) {
+	f := func(sizeRaw uint16) bool {
+		size := int64(sizeRaw%100+1) * packet.PayloadSize
+		fl := rxFor(size)
+		granted := 0
+		for {
+			s := fl.NextNeeded()
+			if s < 0 {
+				break
+			}
+			if fl.State(s) != Needed {
+				return false
+			}
+			fl.Grant(s)
+			granted++
+			if granted > fl.Npkts {
+				return false
+			}
+		}
+		return granted == fl.Npkts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package hpcc implements an HPCC-style transport (Li et al., SIGCOMM
+// 2019): senders carry in-band network telemetry (INT) on every data
+// packet, receivers echo it on per-packet ACKs, and senders run the HPCC
+// window update — estimating per-link utilization U and steering the
+// inflight window toward η·BDP. The fabric runs PFC (lossless), which is
+// also HPCC's documented failure mode under incast: PFC pauses propagate
+// and stall innocent traffic.
+package hpcc
+
+import (
+	"dcpim/internal/netsim"
+	"dcpim/internal/packet"
+	"dcpim/internal/protocols/flowtrack"
+	"dcpim/internal/sim"
+	"dcpim/internal/stats"
+	"dcpim/internal/workload"
+)
+
+// Config tunes the HPCC host.
+type Config struct {
+	// Eta is the target utilization η (0 = 0.95).
+	Eta float64
+	// MaxStage is the additive-increase stage limit (0 = 5).
+	MaxStage int
+	// WAIBytes is the additive increase per update (0 = MTU).
+	WAIBytes int64
+}
+
+// DefaultConfig returns the HPCC paper's parameters.
+func DefaultConfig() Config { return Config{Eta: 0.95, MaxStage: 5, WAIBytes: packet.MTU} }
+
+// FabricConfig returns the netsim configuration HPCC expects: per-flow
+// ECMP (INT needs consistent paths) and PFC for losslessness.
+func (c Config) FabricConfig() netsim.Config {
+	// HPCC runs over lossless RoCE fabrics: PFC watermarks with real
+	// headroom behind them. Table 1 allows the 16 MB shared-switch-buffer
+	// configuration; with 2 MB per port and 400 KB per-ingress pause
+	// watermarks the fabric never tail-drops, and congestion manifests as
+	// PFC pauses — HPCC's documented failure mode.
+	return netsim.Config{
+		Spray:           false,
+		EnablePFC:       true,
+		PortBufferBytes: 2 << 20,
+		PFCPause:        400 << 10,
+		PFCResume:       200 << 10,
+	}
+}
+
+// Proto is one host's HPCC instance.
+type Proto struct {
+	cfg Config
+	col *stats.Collector
+
+	host *netsim.Host
+	eng  *sim.Engine
+	id   int
+
+	baseRTT sim.Duration
+	bdp     int64
+
+	tx map[uint64]*txState
+	rx map[uint64]*rxState
+}
+
+type txState struct {
+	*flowtrack.Tx
+
+	w         float64 // current window, bytes
+	wc        float64 // reference window
+	u         float64 // utilization estimate
+	incStage  int
+	lastINT   []packet.INTHop
+	lastWcSeq int // cumack needed before the next Wc update
+
+	nextSeq  int
+	cumAck   int   // packets acknowledged in order
+	inflight int64 // wire bytes in flight
+	rtoTimer *sim.Timer
+	lastAck  sim.Time
+}
+
+type rxState struct {
+	*flowtrack.Rx
+	cum int // contiguous received prefix
+}
+
+// New returns an unattached HPCC host.
+func New(cfg Config, col *stats.Collector) *Proto {
+	if cfg.Eta == 0 {
+		cfg.Eta = 0.95
+	}
+	if cfg.MaxStage == 0 {
+		cfg.MaxStage = 5
+	}
+	if cfg.WAIBytes == 0 {
+		cfg.WAIBytes = packet.MTU
+	}
+	return &Proto{cfg: cfg, col: col,
+		tx: make(map[uint64]*txState),
+		rx: make(map[uint64]*rxState),
+	}
+}
+
+// Attach installs HPCC on every host of the fabric.
+func Attach(fab *netsim.Fabric, cfg Config, col *stats.Collector) []*Proto {
+	ps := make([]*Proto, fab.Topology().NumHosts)
+	for i := range ps {
+		ps[i] = New(cfg, col)
+		fab.AttachProtocol(i, ps[i])
+	}
+	return ps
+}
+
+// Start implements netsim.Protocol.
+func (p *Proto) Start(h *netsim.Host) {
+	p.host = h
+	p.eng = h.Engine()
+	p.id = h.ID()
+	p.baseRTT = h.Topo().DataRTT()
+	p.bdp = h.Topo().BDP()
+}
+
+// OnFlowArrival opens the flow at a full BDP window (line rate in the
+// first RTT — HPCC's low-latency start).
+func (p *Proto) OnFlowArrival(fl workload.Flow) {
+	p.col.FlowStarted()
+	f := &txState{
+		Tx: flowtrack.NewTx(fl.ID, fl.Dst, fl.Size, fl.Arrival),
+		w:  float64(p.bdp), wc: float64(p.bdp),
+		lastAck: p.eng.Now(),
+	}
+	p.tx[f.ID] = f
+	p.trySend(f)
+	p.armRTO(f)
+}
+
+func (p *Proto) armRTO(f *txState) {
+	f.rtoTimer = p.eng.After(3*p.baseRTT, func() { p.checkRTO(f) })
+}
+
+// checkRTO is a safety net: PFC makes loss near-impossible, but a lost
+// control packet could strand a window. Go-back-N from the cumulative ack.
+func (p *Proto) checkRTO(f *txState) {
+	if f.Done {
+		return
+	}
+	if p.eng.Now().Sub(f.lastAck) >= 3*p.baseRTT && f.inflight > 0 {
+		f.nextSeq = f.cumAck
+		f.inflight = 0
+		p.trySend(f)
+	}
+	p.armRTO(f)
+}
+
+// trySend fills the window.
+func (p *Proto) trySend(f *txState) {
+	w := int64(f.w)
+	if w < packet.MTU {
+		w = packet.MTU // always allow one packet
+	}
+	for f.nextSeq < f.Npkts && f.inflight+packet.MTU <= w {
+		size := packet.DataPacketSize(f.Size, f.nextSeq)
+		d := packet.NewData(p.id, f.Dst, f.ID, f.nextSeq, size, packet.PrioDataHigh)
+		d.FlowSize = f.Size
+		d.CollectINT = true
+		f.MarkSent(f.nextSeq)
+		f.nextSeq++
+		f.inflight += int64(size)
+		p.host.Send(d)
+	}
+}
+
+// OnPacket implements netsim.Protocol.
+func (p *Proto) OnPacket(pkt *packet.Packet) {
+	switch pkt.Kind {
+	case packet.Data:
+		p.onData(pkt)
+	case packet.Ack:
+		p.onAck(pkt)
+	case packet.FinishReceiver:
+		if f := p.tx[pkt.Flow]; f != nil {
+			f.Done = true
+			if f.rtoTimer != nil {
+				f.rtoTimer.Cancel()
+			}
+			delete(p.tx, pkt.Flow)
+		}
+	}
+}
+
+// ---- receiver side ----
+
+func (p *Proto) onData(pkt *packet.Packet) {
+	f, ok := p.rx[pkt.Flow]
+	if !ok {
+		f = &rxState{Rx: flowtrack.NewRx(pkt)}
+		p.rx[pkt.Flow] = f
+	}
+	payload := f.MarkReceived(pkt.Seq, pkt.Size)
+	if payload > 0 {
+		p.col.Delivered(p.eng.Now(), payload)
+		for f.cum < f.Npkts && f.State(f.cum) == flowtrack.Received {
+			f.cum++
+		}
+	}
+	// Per-packet ACK echoing the telemetry.
+	ack := packet.NewControl(packet.Ack, p.id, pkt.Src, pkt.Flow)
+	ack.Seq = pkt.Seq
+	ack.CumAck = f.cum
+	ack.Count = pkt.Size // echo wire size for inflight accounting
+	ack.INT = pkt.INT
+	p.host.Send(ack)
+
+	if payload > 0 && f.Done {
+		opt := p.host.Topo().UnloadedFCT(f.Src, p.id, f.Size)
+		p.col.FlowDone(stats.FlowRecord{
+			ID: f.ID, Src: f.Src, Dst: p.id, Size: f.Size,
+			Arrival: f.Arrival, Finish: p.eng.Now(), Optimal: opt,
+		})
+		fin := packet.NewControl(packet.FinishReceiver, p.id, f.Src, f.ID)
+		p.host.Send(fin)
+		f.Release()
+	}
+}
+
+// ---- sender side: the HPCC window update ----
+
+func (p *Proto) onAck(ack *packet.Packet) {
+	f := p.tx[ack.Flow]
+	if f == nil {
+		return
+	}
+	f.lastAck = p.eng.Now()
+	f.inflight -= int64(ack.Count)
+	if f.inflight < 0 {
+		f.inflight = 0
+	}
+	if ack.CumAck > f.cumAck {
+		f.cumAck = ack.CumAck
+	}
+
+	u := p.measureInflight(f, ack.INT)
+	updateWc := ack.Seq >= f.lastWcSeq
+	p.computeWind(f, u, updateWc)
+	if updateWc {
+		f.lastWcSeq = f.nextSeq // next reference update one window later
+	}
+	p.trySend(f)
+}
+
+// measureInflight is HPCC's Algorithm 1: per-link utilization from
+// consecutive INT snapshots, EWMA-folded into the flow's U estimate.
+func (p *Proto) measureInflight(f *txState, hops []packet.INTHop) float64 {
+	if len(hops) == 0 {
+		return f.u
+	}
+	if len(f.lastINT) != len(hops) {
+		// First sample on this path: just record.
+		f.lastINT = append(f.lastINT[:0], hops...)
+		return f.u
+	}
+	T := p.baseRTT.Seconds()
+	u := 0.0
+	tau := T
+	for i, h := range hops {
+		prev := f.lastINT[i]
+		dt := h.Timestamp.Sub(prev.Timestamp).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		txRate := float64(h.TxBytes-prev.TxBytes) * 8 / dt
+		qlen := h.QueueBytes
+		if prev.QueueBytes < qlen {
+			qlen = prev.QueueBytes
+		}
+		ui := float64(qlen)*8/(h.RateBps*T) + txRate/h.RateBps
+		if ui > u {
+			u = ui
+			tau = dt
+		}
+	}
+	if tau > T {
+		tau = T
+	}
+	f.u = (1-tau/T)*f.u + (tau/T)*u
+	f.lastINT = append(f.lastINT[:0], hops...)
+	return f.u
+}
+
+// computeWind is HPCC's window update: multiplicative alignment toward
+// η when over target or out of probe stages, additive probe otherwise.
+func (p *Proto) computeWind(f *txState, u float64, updateWc bool) {
+	wai := float64(p.cfg.WAIBytes)
+	if u >= p.cfg.Eta || f.incStage >= p.cfg.MaxStage {
+		ratio := u / p.cfg.Eta
+		if ratio < 0.01 {
+			ratio = 0.01
+		}
+		f.w = f.wc/ratio + wai
+		if updateWc {
+			f.incStage = 0
+			f.wc = f.w
+		}
+	} else {
+		f.w = f.wc + wai
+		if updateWc {
+			f.incStage++
+			f.wc = f.w
+		}
+	}
+	// Clamp to sane bounds: at most a few BDPs, at least one packet.
+	if max := 4 * float64(p.bdp); f.w > max {
+		f.w = max
+	}
+	if f.w < packet.MTU {
+		f.w = packet.MTU
+	}
+}

@@ -1,0 +1,46 @@
+// Package phost implements a pHost-style receiver-driven transport (Gao et
+// al., CoNEXT 2015): per-packet tokens from the receiver, a free
+// first-BDP window the sender transmits without credit, SRPT token
+// scheduling at the receiver, and no reliance on switch priorities for
+// data. Mechanically this is the Homa engine with a flat data priority and
+// no overcommitment, which is exactly how the dcPIM paper positions the
+// two designs (single-round matching protocols, footnote 1).
+package phost
+
+import (
+	"dcpim/internal/netsim"
+	"dcpim/internal/protocols/homa"
+	"dcpim/internal/stats"
+)
+
+// Config tunes the pHost host.
+type Config struct {
+	// FreeBytes is the uncredited first window (0 = 1 BDP).
+	FreeBytes int64
+}
+
+// Proto is one host's pHost instance.
+type Proto = homa.Proto
+
+// New returns an unattached pHost host.
+func New(cfg Config, col *stats.Collector) *Proto {
+	return homa.New(homa.Config{
+		Overcommit:   1,
+		UnschedBytes: cfg.FreeBytes,
+		FlatPriority: true,
+	}, col)
+}
+
+// Attach installs pHost on every host of the fabric.
+func Attach(fab *netsim.Fabric, cfg Config, col *stats.Collector) []*Proto {
+	ps := make([]*Proto, fab.Topology().NumHosts)
+	for i := range ps {
+		ps[i] = New(cfg, col)
+		fab.AttachProtocol(i, ps[i])
+	}
+	return ps
+}
+
+// FabricConfig returns the netsim configuration pHost expects (per-packet
+// spraying, plain drop-tail queues).
+func FabricConfig() netsim.Config { return netsim.Config{Spray: true} }

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Engine is a deterministic discrete-event simulator. Events are executed
+// in non-decreasing timestamp order; events scheduled for the same instant
+// run in the order they were scheduled (stable FIFO tie-break), which keeps
+// protocol state machines deterministic.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	nEvent uint64 // total events executed, for instrumentation
+}
+
+// Timer is a handle to a scheduled event. It can be cancelled (lazily: the
+// event stays in the heap but becomes a no-op) or queried.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// At returns the time the timer fires.
+func (t *Timer) At() Time { return t.at }
+
+// Cancel prevents the timer's callback from running. Safe to call more than
+// once, and safe to call on an already-fired timer.
+func (t *Timer) Cancel() { t.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// NewEngine returns an engine with the clock at zero and a random source
+// seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All simulation
+// components must draw randomness from here to preserve reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.nEvent }
+
+// Pending returns the number of events currently queued (including
+// cancelled events that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics: it
+// would silently corrupt causality.
+func (e *Engine) Schedule(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	t := &Timer{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, t)
+	return t
+}
+
+// After runs fn d after the current time.
+func (e *Engine) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.Schedule(e.now.Add(d), fn)
+}
+
+// Step executes the next pending event, if any, and reports whether one ran.
+// Cancelled events are skipped without being counted.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		t := heap.Pop(&e.queue).(*Timer)
+		if t.cancelled {
+			continue
+		}
+		e.now = t.at
+		e.nEvent++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or the clock would pass
+// until. Events stamped exactly at until still run. The clock is left at
+// the later of its current value and until when the horizon is hit.
+func (e *Engine) Run(until Time) {
+	for len(e.queue) > 0 {
+		if e.queue[0].at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// RunAll executes events until the queue drains. Intended for workloads
+// with a natural end (all flows complete); a runaway protocol that
+// reschedules itself forever will not terminate, so callers with periodic
+// timers should use Run.
+func (e *Engine) RunAll() {
+	for e.Step() {
+	}
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*q = old[:n-1]
+	return t
+}

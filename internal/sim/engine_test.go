@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	tm := Time(0).Add(5 * Microsecond)
+	if tm != Time(5_000_000) {
+		t.Fatalf("5us = %d ps, want 5e6", tm)
+	}
+	if d := tm.Sub(Time(1_000_000)); d != 4*Microsecond {
+		t.Fatalf("Sub = %v, want 4us", d)
+	}
+	if s := (2 * Second).Seconds(); s != 2 {
+		t.Fatalf("Seconds = %v", s)
+	}
+	if us := Time(1500).Microseconds(); us != 0.0015 {
+		t.Fatalf("Microseconds = %v", us)
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	// 1500 bytes at 100 Gbps = 120 ns.
+	if d := TransmissionTime(1500, 100e9); d != 120*Nanosecond {
+		t.Fatalf("1500B@100G = %v, want 120ns", d)
+	}
+	// 64 bytes at 400 Gbps = 1.28 ns = 1280 ps.
+	if d := TransmissionTime(64, 400e9); d != 1280*Picosecond {
+		t.Fatalf("64B@400G = %v, want 1.28ns", d)
+	}
+}
+
+func TestDurationScale(t *testing.T) {
+	if d := (10 * Microsecond).Scale(1.3); d != 13*Microsecond {
+		t.Fatalf("Scale(1.3) = %v, want 13us", d)
+	}
+	if d := (3 * Picosecond).Scale(0.5); d != 2*Picosecond { // rounds up at .5
+		t.Fatalf("Scale rounding = %v, want 2ps", d)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.RunAll()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order = %v", got)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(50, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	e.Schedule(10, func() {
+		fired = append(fired, e.Now())
+		e.After(5, func() { fired = append(fired, e.Now()) })
+		// Same-time event scheduled from within an event still runs.
+		e.After(0, func() { fired = append(fired, e.Now()) })
+	})
+	e.RunAll()
+	want := []Time{10, 10, 15}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	tm := e.Schedule(10, func() { ran = true })
+	tm.Cancel()
+	if !tm.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	e.RunAll()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Events() != 0 {
+		t.Fatalf("Events = %d, want 0", e.Events())
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	e.Schedule(10, func() { got = append(got, e.Now()) })
+	e.Schedule(20, func() { got = append(got, e.Now()) })
+	e.Schedule(30, func() { got = append(got, e.Now()) })
+	e.Run(20)
+	if len(got) != 2 {
+		t.Fatalf("ran %d events, want 2 (event at horizon inclusive)", len(got))
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	e.Run(100)
+	if len(got) != 3 {
+		t.Fatalf("ran %d events after extending horizon, want 3", len(got))
+	}
+	// Clock advances to the horizon even with an empty queue.
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.RunAll()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var trace []int64
+		var step func()
+		step = func() {
+			trace = append(trace, int64(e.Now()), e.rng.Int63n(1000))
+			if len(trace) < 200 {
+				e.After(Duration(1+e.rng.Int63n(50)), step)
+			}
+		}
+		e.After(1, step)
+		e.RunAll()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("determinism: different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("determinism: traces diverge at %d", i)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Property: for any multiset of scheduling times, events execute in sorted
+// order and the engine clock never moves backwards.
+func TestEngineSortedExecutionProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		e := NewEngine(7)
+		times := make([]Time, len(raw))
+		for i, r := range raw {
+			times[i] = Time(r % 1_000_000)
+		}
+		var executed []Time
+		for _, at := range times {
+			at := at
+			e.Schedule(at, func() { executed = append(executed, at) })
+		}
+		e.RunAll()
+		if len(executed) != len(times) {
+			return false
+		}
+		sorted := append([]Time(nil), times...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range sorted {
+			if executed[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset of timers runs exactly the others.
+func TestEngineCancelSubsetProperty(t *testing.T) {
+	f := func(raw []uint16, mask uint64) bool {
+		e := NewEngine(3)
+		want := 0
+		ran := 0
+		for i, r := range raw {
+			tm := e.Schedule(Time(r), func() { ran++ })
+			if mask>>(uint(i)%64)&1 == 1 {
+				tm.Cancel()
+			} else {
+				want++
+			}
+		}
+		e.RunAll()
+		return ran == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineScheduleStep(b *testing.B) {
+	e := NewEngine(1)
+	r := rand.New(rand.NewSource(1))
+	// Keep a standing pool of 1024 pending events, schedule+pop in a loop.
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(r.Int63n(1_000_000)), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now().Add(Duration(1+r.Int63n(1000))), func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteRecordsCSV writes per-flow completion records as CSV with a header
+// row — the raw data behind every slowdown figure, ready for external
+// plotting.
+func WriteRecordsCSV(w io.Writer, records []FlowRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"flow", "src", "dst", "size_bytes", "arrival_us", "finish_us",
+		"fct_us", "optimal_us", "slowdown",
+	}); err != nil {
+		return err
+	}
+	for _, r := range records {
+		rec := []string{
+			strconv.FormatUint(r.ID, 10),
+			strconv.Itoa(r.Src),
+			strconv.Itoa(r.Dst),
+			strconv.FormatInt(r.Size, 10),
+			fmt.Sprintf("%.3f", r.Arrival.Microseconds()),
+			fmt.Sprintf("%.3f", r.Finish.Microseconds()),
+			fmt.Sprintf("%.3f", r.FCT().Microseconds()),
+			fmt.Sprintf("%.3f", r.Optimal.Microseconds()),
+			fmt.Sprintf("%.4f", r.Slowdown()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteUtilizationCSV writes a utilization time series (one row per bin)
+// as CSV.
+func WriteUtilizationCSV(w io.Writer, series []float64, binUS float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_us", "utilization"}); err != nil {
+		return err
+	}
+	for i, u := range series {
+		rec := []string{
+			fmt.Sprintf("%.1f", float64(i+1)*binUS),
+			fmt.Sprintf("%.4f", u),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteBucketsCSV writes bucketed slowdown summaries as CSV.
+func WriteBucketsCSV(w io.Writer, buckets []SizeBucket) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"bucket", "lo_bytes", "hi_bytes", "count", "mean", "p50", "p99", "p999", "max"}); err != nil {
+		return err
+	}
+	for _, b := range buckets {
+		rec := []string{
+			b.Label,
+			strconv.FormatInt(b.Lo, 10),
+			strconv.FormatInt(b.Hi, 10),
+			strconv.Itoa(b.Summary.Count),
+			fmt.Sprintf("%.4f", b.Summary.Mean),
+			fmt.Sprintf("%.4f", b.Summary.P50),
+			fmt.Sprintf("%.4f", b.Summary.P99),
+			fmt.Sprintf("%.4f", b.Summary.P999),
+			fmt.Sprintf("%.4f", b.Summary.Max),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

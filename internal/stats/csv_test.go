@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"dcpim/internal/sim"
+)
+
+func TestWriteRecordsCSV(t *testing.T) {
+	records := []FlowRecord{
+		{ID: 1, Src: 0, Dst: 5, Size: 1000,
+			Arrival: sim.Time(10 * sim.Microsecond),
+			Finish:  sim.Time(30 * sim.Microsecond),
+			Optimal: 10 * sim.Microsecond},
+	}
+	var sb strings.Builder
+	if err := WriteRecordsCSV(&sb, records); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want header + 1", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "flow,src,dst,size_bytes") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "2.0000") { // slowdown 20us/10us
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteUtilizationCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteUtilizationCSV(&sb, []float64{0.5, 0.75}, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[1] != "10.0,0.5000" || lines[2] != "20.0,0.7500" {
+		t.Fatalf("rows = %v", lines[1:])
+	}
+}
+
+func TestWriteBucketsCSV(t *testing.T) {
+	buckets := BucketSlowdowns([]FlowRecord{
+		{Size: 100, Finish: sim.Time(20), Optimal: 10},
+	}, DefaultBuckets(72500))
+	var sb strings.Builder
+	if err := WriteBucketsCSV(&sb, buckets); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+len(buckets) {
+		t.Fatalf("lines = %d, want %d", len(lines), 1+len(buckets))
+	}
+	if !strings.Contains(lines[1], "short(≤BDP)") {
+		t.Fatalf("first bucket row = %q", lines[1])
+	}
+}

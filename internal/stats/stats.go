@@ -1,0 +1,200 @@
+// Package stats collects and summarizes the evaluation metrics the paper
+// reports: per-flow completion times normalized to the unloaded optimum
+// (slowdown), mean and tail percentiles overall and bucketed by flow size,
+// and network utilization over time.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dcpim/internal/sim"
+)
+
+// FlowRecord is the completion record of one flow.
+type FlowRecord struct {
+	ID       uint64
+	Src, Dst int
+	Size     int64
+	Arrival  sim.Time
+	Finish   sim.Time
+	Optimal  sim.Duration // unloaded FCT, the slowdown denominator
+}
+
+// FCT returns the measured flow completion time.
+func (r FlowRecord) FCT() sim.Duration { return r.Finish.Sub(r.Arrival) }
+
+// Slowdown returns FCT normalized by the unloaded optimum (≥ 1 up to
+// simulation granularity).
+func (r FlowRecord) Slowdown() float64 {
+	if r.Optimal <= 0 {
+		return 1
+	}
+	return float64(r.FCT()) / float64(r.Optimal)
+}
+
+// Collector accumulates flow completions and delivered-byte samples during
+// one simulation run.
+type Collector struct {
+	records   []FlowRecord
+	started   int64
+	delivered int64 // unique payload bytes confirmed delivered
+
+	binWidth sim.Duration
+	bins     []int64 // delivered payload bytes per time bin
+}
+
+// NewCollector returns a collector with the given utilization bin width
+// (0 disables the time series).
+func NewCollector(binWidth sim.Duration) *Collector {
+	return &Collector{binWidth: binWidth}
+}
+
+// FlowStarted counts an injected flow (denominator for completion checks).
+func (c *Collector) FlowStarted() { c.started++ }
+
+// FlowDone records a completed flow.
+func (c *Collector) FlowDone(r FlowRecord) { c.records = append(c.records, r) }
+
+// Delivered records unique payload bytes arriving at a receiver at time t.
+// Protocols call this exactly once per distinct payload byte, so the sum
+// is goodput, not raw throughput.
+func (c *Collector) Delivered(t sim.Time, bytes int64) {
+	c.delivered += bytes
+	if c.binWidth <= 0 {
+		return
+	}
+	bin := int(sim.Duration(t) / c.binWidth)
+	for len(c.bins) <= bin {
+		c.bins = append(c.bins, 0)
+	}
+	c.bins[bin] += bytes
+}
+
+// Started returns the number of injected flows.
+func (c *Collector) Started() int64 { return c.started }
+
+// Completed returns the number of completed flows.
+func (c *Collector) Completed() int64 { return int64(len(c.records)) }
+
+// DeliveredBytes returns total unique payload bytes delivered.
+func (c *Collector) DeliveredBytes() int64 { return c.delivered }
+
+// Records returns all completion records (shared slice; do not mutate).
+func (c *Collector) Records() []FlowRecord { return c.records }
+
+// UtilizationSeries returns, for each time bin, delivered goodput as a
+// fraction of aggregate capacity (hosts × rate).
+func (c *Collector) UtilizationSeries(hosts int, rateBps float64) []float64 {
+	out := make([]float64, len(c.bins))
+	cap := rateBps * float64(hosts) / 8 * c.binWidth.Seconds()
+	for i, b := range c.bins {
+		out[i] = float64(b) / cap
+	}
+	return out
+}
+
+// Summary condenses a set of slowdowns.
+type Summary struct {
+	Count int
+	Mean  float64
+	P50   float64
+	P99   float64
+	P999  float64
+	Max   float64
+}
+
+// Summarize computes slowdown statistics over records matching the filter
+// (nil matches all).
+func Summarize(records []FlowRecord, keep func(FlowRecord) bool) Summary {
+	var xs []float64
+	for _, r := range records {
+		if keep == nil || keep(r) {
+			xs = append(xs, r.Slowdown())
+		}
+	}
+	return summarizeValues(xs)
+}
+
+func summarizeValues(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return Summary{
+		Count: len(xs),
+		Mean:  sum / float64(len(xs)),
+		P50:   Percentile(xs, 0.50),
+		P99:   Percentile(xs, 0.99),
+		P999:  Percentile(xs, 0.999),
+		Max:   xs[len(xs)-1],
+	}
+}
+
+// Percentile returns the p-quantile (0..1) of sorted xs using the
+// nearest-rank method.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// SizeBucket is one x-axis group of the paper's per-flow-size slowdown
+// plots (Figures 3c–e, 5b, 5d, 7).
+type SizeBucket struct {
+	Label   string
+	Lo, Hi  int64 // payload bytes, inclusive lo, exclusive hi (Hi 0 = ∞)
+	Summary Summary
+}
+
+// DefaultBuckets returns geometric flow-size buckets anchored at the short
+// flow threshold: the first bucket is the paper's "short flows".
+func DefaultBuckets(shortThreshold int64) []SizeBucket {
+	edges := []int64{0, shortThreshold, 4 * shortThreshold, 16 * shortThreshold,
+		64 * shortThreshold, 256 * shortThreshold, 0}
+	labels := []string{"short(≤BDP)", "1-4BDP", "4-16BDP", "16-64BDP", "64-256BDP", ">256BDP"}
+	out := make([]SizeBucket, len(labels))
+	for i := range labels {
+		out[i] = SizeBucket{Label: labels[i], Lo: edges[i], Hi: edges[i+1]}
+	}
+	return out
+}
+
+// BucketSlowdowns fills each bucket's summary from the records.
+func BucketSlowdowns(records []FlowRecord, buckets []SizeBucket) []SizeBucket {
+	out := append([]SizeBucket(nil), buckets...)
+	for i := range out {
+		lo, hi := out[i].Lo, out[i].Hi
+		out[i].Summary = Summarize(records, func(r FlowRecord) bool {
+			if r.Size < lo {
+				return false
+			}
+			return hi == 0 || r.Size < hi
+		})
+	}
+	return out
+}
+
+// String renders a summary as a compact table cell.
+func (s Summary) String() string {
+	if s.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("n=%d mean=%.2f p99=%.2f", s.Count, s.Mean, s.P99)
+}

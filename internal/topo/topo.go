@@ -1,0 +1,211 @@
+// Package topo models datacenter network topologies as explicit graphs of
+// hosts and switches with per-port link rates and delays, plus precomputed
+// multipath routing tables. It also provides the latency arithmetic the
+// paper's evaluation depends on: unloaded round-trip times, bandwidth-delay
+// product, and ideal (alone-in-the-network) flow completion times used as
+// the slowdown baseline.
+package topo
+
+import (
+	"fmt"
+
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+)
+
+// Port describes one switch port: what it connects to and the properties of
+// the attached link. Links are full duplex; each direction is modeled by
+// the output port on its sending side.
+type Port struct {
+	ToHost   bool         // true if the peer is a host
+	Peer     int          // host id, or switch id
+	PeerPort int          // port index on the peer switch (-1 for hosts)
+	Rate     float64      // link rate, bits per second
+	Delay    sim.Duration // propagation delay
+}
+
+// Switch is a node in the fabric with a set of ports and a routing table.
+// Routes[dst] lists the candidate output ports toward host dst; multiple
+// candidates mean the fabric may spray or ECMP-hash across them.
+type Switch struct {
+	ID     int
+	Ports  []Port
+	Routes [][]int32
+}
+
+// Topology is an immutable description of a datacenter network.
+type Topology struct {
+	Name        string
+	NumHosts    int
+	HostRate    float64      // access link rate, bits per second
+	HostDelay   sim.Duration // host stack latency per send or receive
+	SwitchDelay sim.Duration // switch processing latency per traversal
+	Switches    []*Switch
+
+	HostSwitch []int // ToR switch id for each host
+	HostPort   []int // ToR port index facing each host
+	HostLink   Port  // template for the host→ToR uplink (rate/delay)
+
+	// maxPathSwitches is the largest number of switches on any host-to-host
+	// path, used for worst-case RTT computations.
+	maxPathSwitches int
+}
+
+// Validate checks structural invariants: every route resolves, links are
+// symmetric, and every host is reachable from every switch.
+func (t *Topology) Validate() error {
+	if t.NumHosts <= 0 {
+		return fmt.Errorf("topology %s: no hosts", t.Name)
+	}
+	for _, sw := range t.Switches {
+		if len(sw.Routes) != t.NumHosts {
+			return fmt.Errorf("switch %d: routing table covers %d hosts, want %d",
+				sw.ID, len(sw.Routes), t.NumHosts)
+		}
+		for dst, cands := range sw.Routes {
+			if len(cands) == 0 {
+				return fmt.Errorf("switch %d: no route to host %d", sw.ID, dst)
+			}
+			for _, pi := range cands {
+				if int(pi) >= len(sw.Ports) {
+					return fmt.Errorf("switch %d: route to %d uses bad port %d", sw.ID, dst, pi)
+				}
+			}
+		}
+		for pi, p := range sw.Ports {
+			if p.ToHost {
+				if p.Peer < 0 || p.Peer >= t.NumHosts {
+					return fmt.Errorf("switch %d port %d: bad host %d", sw.ID, pi, p.Peer)
+				}
+				if t.HostSwitch[p.Peer] != sw.ID || t.HostPort[p.Peer] != pi {
+					return fmt.Errorf("switch %d port %d: host %d back-reference mismatch", sw.ID, pi, p.Peer)
+				}
+				continue
+			}
+			peer := t.Switches[p.Peer]
+			back := peer.Ports[p.PeerPort]
+			if back.ToHost || back.Peer != sw.ID || back.PeerPort != pi {
+				return fmt.Errorf("switch %d port %d: asymmetric wiring to switch %d", sw.ID, pi, p.Peer)
+			}
+			if back.Rate != p.Rate || back.Delay != p.Delay {
+				return fmt.Errorf("switch %d port %d: asymmetric link properties", sw.ID, pi)
+			}
+		}
+	}
+	return nil
+}
+
+// Path returns a representative host-to-host path as the sequence of
+// (rate, delay) links traversed, always taking the first routing candidate.
+// In the regular topologies built here all equal-cost paths have identical
+// latency, so the representative path is exact for latency math.
+func (t *Topology) Path(src, dst int) []Port {
+	path := []Port{t.hostUplink(src)}
+	if src == dst {
+		return path
+	}
+	sw := t.Switches[t.HostSwitch[src]]
+	for hops := 0; ; hops++ {
+		if hops > 16 {
+			panic("topo: routing loop")
+		}
+		pi := sw.Routes[dst][0]
+		p := sw.Ports[pi]
+		path = append(path, p)
+		if p.ToHost {
+			return path
+		}
+		sw = t.Switches[p.Peer]
+	}
+}
+
+func (t *Topology) hostUplink(host int) Port {
+	// The host's uplink mirrors the ToR's downlink to it.
+	sw := t.Switches[t.HostSwitch[host]]
+	down := sw.Ports[t.HostPort[host]]
+	return Port{ToHost: false, Peer: sw.ID, Rate: down.Rate, Delay: down.Delay}
+}
+
+// OneWayDelay returns the unloaded latency for a single packet of the given
+// wire size from src to dst: host stack latency at both ends, plus per-link
+// serialization and propagation, plus switch processing at each switch.
+func (t *Topology) OneWayDelay(src, dst int, size int) sim.Duration {
+	path := t.Path(src, dst)
+	d := 2 * t.HostDelay // sender stack + receiver stack
+	for i, l := range path {
+		d += sim.TransmissionTime(size, l.Rate) + l.Delay
+		if i < len(path)-1 {
+			d += t.SwitchDelay // a switch sits between consecutive links
+		}
+	}
+	return d
+}
+
+// maxDistancePair returns a pair of hosts at maximum topological distance
+// (first and last host — regular topologies place them in different racks
+// and pods).
+func (t *Topology) maxDistancePair() (int, int) {
+	if t.NumHosts == 1 {
+		return 0, 0
+	}
+	return 0, t.NumHosts - 1
+}
+
+// DataRTT returns the unloaded round-trip time for full-MTU packets between
+// a maximally distant host pair (MTU out, MTU back). This matches the
+// paper's "unloaded RTT for data packets" (5.8 µs on the default
+// leaf-spine).
+func (t *Topology) DataRTT() sim.Duration {
+	a, b := t.maxDistancePair()
+	return t.OneWayDelay(a, b, packet.MTU) + t.OneWayDelay(b, a, packet.MTU)
+}
+
+// CtrlRTT returns the unloaded round-trip time for control packets between
+// a maximally distant pair (the paper's cRTT, 5.2 µs on the default
+// leaf-spine).
+func (t *Topology) CtrlRTT() sim.Duration {
+	a, b := t.maxDistancePair()
+	return t.OneWayDelay(a, b, packet.HeaderSize) + t.OneWayDelay(b, a, packet.HeaderSize)
+}
+
+// BDP returns the bandwidth-delay product in bytes: access rate × DataRTT.
+func (t *Topology) BDP() int64 {
+	return int64(t.HostRate * t.DataRTT().Seconds() / 8)
+}
+
+// UnloadedFCT returns the ideal completion time for a flow of size payload
+// bytes from src to dst when it is alone in the network: the time from the
+// sender starting transmission to the last byte arriving at the receiver,
+// with store-and-forward pipelining across hops. This is the denominator of
+// the paper's slowdown metric.
+func (t *Topology) UnloadedFCT(src, dst int, size int64) sim.Duration {
+	n := packet.PacketsForBytes(size)
+	if n == 0 {
+		return 0
+	}
+	first := packet.DataPacketSize(size, 0)
+	// First packet pipelines through every hop; the rest drain behind it at
+	// the bottleneck (access) rate. All topologies here have core links at
+	// least as fast as access links, so the access link is the bottleneck.
+	d := t.OneWayDelay(src, dst, first)
+	bottleneck := t.HostRate
+	for _, l := range t.Path(src, dst) {
+		if l.Rate < bottleneck {
+			bottleneck = l.Rate
+		}
+	}
+	for i := 1; i < n; i++ {
+		d += sim.TransmissionTime(packet.DataPacketSize(size, i), bottleneck)
+	}
+	return d
+}
+
+// Rack returns the index of the ToR switch of a host, usable as a rack id.
+func (t *Topology) Rack(host int) int { return t.HostSwitch[host] }
+
+// NumSwitches returns the number of switches.
+func (t *Topology) NumSwitches() int { return len(t.Switches) }
+
+// MaxPathSwitches returns the largest number of switches on any
+// host-to-host path.
+func (t *Topology) MaxPathSwitches() int { return t.maxPathSwitches }

@@ -1,0 +1,208 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+)
+
+func TestLeafSpineStructure(t *testing.T) {
+	tp := DefaultLeafSpine().Build()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts != 144 {
+		t.Fatalf("hosts = %d, want 144", tp.NumHosts)
+	}
+	if got := tp.NumSwitches(); got != 13 { // 9 leaves + 4 spines
+		t.Fatalf("switches = %d, want 13", got)
+	}
+	// Host 17 lives in rack 1.
+	if tp.Rack(17) != 1 {
+		t.Fatalf("Rack(17) = %d, want 1", tp.Rack(17))
+	}
+	// Same-rack path: 2 links (host→leaf→host).
+	if p := tp.Path(0, 1); len(p) != 2 {
+		t.Fatalf("same-rack path length = %d, want 2", len(p))
+	}
+	// Cross-rack path: 4 links.
+	if p := tp.Path(0, 143); len(p) != 4 {
+		t.Fatalf("cross-rack path length = %d, want 4", len(p))
+	}
+}
+
+// The paper's §3.4 worked example: unloaded data RTT 5.8 µs, control RTT
+// 5.2 µs, BDP 72.5 KB on the default leaf-spine. Our calibration must
+// land within 1% of those numbers.
+func TestLeafSpineCalibration(t *testing.T) {
+	tp := DefaultLeafSpine().Build()
+	within := func(got sim.Duration, wantUs, tol float64) bool {
+		return math.Abs(got.Microseconds()-wantUs) <= tol*wantUs
+	}
+	if d := tp.DataRTT(); !within(d, 5.8, 0.01) {
+		t.Errorf("DataRTT = %v, want ≈5.8us", d)
+	}
+	if d := tp.CtrlRTT(); !within(d, 5.2, 0.01) {
+		t.Errorf("CtrlRTT = %v, want ≈5.2us", d)
+	}
+	bdp := tp.BDP()
+	if math.Abs(float64(bdp)-72500) > 0.01*72500 {
+		t.Errorf("BDP = %d bytes, want ≈72500", bdp)
+	}
+}
+
+func TestOversubscribedLeafSpine(t *testing.T) {
+	tp := OversubscribedLeafSpine().Build()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Core links at 200G: 16 hosts × 100G vs 4 uplinks × 200G = 2:1.
+	up := tp.Switches[0].Ports[16]
+	if up.Rate != 200e9 {
+		t.Fatalf("uplink rate = %g, want 200e9", up.Rate)
+	}
+}
+
+func TestTestbedLeafSpine(t *testing.T) {
+	tp := TestbedLeafSpine().Build()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts != 32 {
+		t.Fatalf("hosts = %d, want 32", tp.NumHosts)
+	}
+	// Software stack: RTT should be on the order of 8 µs.
+	rtt := tp.CtrlRTT().Microseconds()
+	if rtt < 6 || rtt > 10 {
+		t.Fatalf("testbed cRTT = %.2fus, want ~8us", rtt)
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	tp := DefaultFatTree().Build()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts != 1024 {
+		t.Fatalf("hosts = %d, want 1024", tp.NumHosts)
+	}
+	// 128 edge + 128 agg + 64 core.
+	if got := tp.NumSwitches(); got != 320 {
+		t.Fatalf("switches = %d, want 320", got)
+	}
+	// Same-edge: 2 links; same-pod: 4 links; cross-pod: 6 links.
+	if p := tp.Path(0, 1); len(p) != 2 {
+		t.Fatalf("same-edge path = %d links, want 2", len(p))
+	}
+	if p := tp.Path(0, 9); len(p) != 4 {
+		t.Fatalf("same-pod path = %d links, want 4", len(p))
+	}
+	if p := tp.Path(0, 1023); len(p) != 6 {
+		t.Fatalf("cross-pod path = %d links, want 6", len(p))
+	}
+}
+
+func TestSmallFatTree(t *testing.T) {
+	tp := SmallFatTree().Build()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumHosts != 16 || tp.NumSwitches() != 20 {
+		t.Fatalf("k=4 fat-tree: hosts=%d switches=%d, want 16/20", tp.NumHosts, tp.NumSwitches())
+	}
+}
+
+// Property: every switch in a fat-tree can reach every host, and sprayed
+// candidates all make progress (no candidate port points back to a host
+// unless it is the destination).
+func TestFatTreeRoutesProperty(t *testing.T) {
+	tp := SmallFatTree().Build()
+	for _, sw := range tp.Switches {
+		for dst := 0; dst < tp.NumHosts; dst++ {
+			for _, pi := range sw.Routes[dst] {
+				p := sw.Ports[pi]
+				if p.ToHost && p.Peer != dst {
+					t.Fatalf("switch %d route to %d exits to wrong host %d", sw.ID, dst, p.Peer)
+				}
+			}
+		}
+	}
+}
+
+func TestOneWayDelayComponents(t *testing.T) {
+	tp := DefaultLeafSpine().Build()
+	// Cross-rack MTU one-way: serialization 120+30+30+120 ns, propagation
+	// 4×200 ns, switching 3×450 ns, host stack 2×225 ns = 2900 ns.
+	want := 2900 * sim.Nanosecond
+	if d := tp.OneWayDelay(0, 143, packet.MTU); d != want {
+		t.Fatalf("OneWayDelay cross-rack MTU = %v, want %v", d, want)
+	}
+	// Same-rack is strictly faster than cross-rack.
+	if tp.OneWayDelay(0, 1, packet.MTU) >= d0143(tp) {
+		t.Fatal("same-rack delay not below cross-rack delay")
+	}
+}
+
+func d0143(tp *Topology) sim.Duration { return tp.OneWayDelay(0, 143, packet.MTU) }
+
+func TestUnloadedFCT(t *testing.T) {
+	tp := DefaultLeafSpine().Build()
+	// A one-packet flow's FCT equals its one-way delay.
+	one := tp.UnloadedFCT(0, 143, 100)
+	if want := tp.OneWayDelay(0, 143, 100+packet.HeaderSize); one != want {
+		t.Fatalf("1-pkt FCT = %v, want %v", one, want)
+	}
+	// A large flow is dominated by access-link serialization:
+	// 1 MB ≈ 1e6/1436 packets ≈ 697 MTUs ≈ 83.7 µs at 100G.
+	big := tp.UnloadedFCT(0, 143, 1_000_000)
+	lower := sim.TransmissionTime(1_000_000, tp.HostRate)
+	if big < lower {
+		t.Fatalf("1MB FCT %v below pure serialization %v", big, lower)
+	}
+	if big > lower+20*sim.Microsecond {
+		t.Fatalf("1MB FCT %v too far above serialization %v", big, lower)
+	}
+	// Monotonic in size.
+	if tp.UnloadedFCT(0, 143, 5000) <= tp.UnloadedFCT(0, 143, 500) {
+		t.Fatal("FCT not monotonic in flow size")
+	}
+}
+
+// Property: unloaded FCT is monotone non-decreasing in flow size for
+// arbitrary sizes and host pairs.
+func TestUnloadedFCTMonotoneProperty(t *testing.T) {
+	tp := SmallLeafSpine().Build()
+	f := func(a, b uint32, src, dst uint8) bool {
+		s1 := int64(a%10_000_000) + 1
+		s2 := int64(b%10_000_000) + 1
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		sh := int(src) % tp.NumHosts
+		dh := int(dst) % tp.NumHosts
+		return tp.UnloadedFCT(sh, dh, s1) <= tp.UnloadedFCT(sh, dh, s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadWiring(t *testing.T) {
+	tp := SmallLeafSpine().Build()
+	// Corrupt a backlink: leaf 0's uplink to spine 0 claims the spine's
+	// port toward leaf 1.
+	tp.Switches[0].Ports[4].PeerPort = 1
+	if err := tp.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric wiring")
+	}
+}
+
+func TestPathSameHost(t *testing.T) {
+	tp := SmallLeafSpine().Build()
+	if p := tp.Path(3, 3); len(p) != 1 {
+		t.Fatalf("self path length = %d, want 1", len(p))
+	}
+}

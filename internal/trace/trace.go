@@ -1,0 +1,125 @@
+// Package trace records simulation events into a bounded ring buffer for
+// debugging and analysis: packet drops, trims, and deliveries as observed
+// by the fabric. Attach a Recorder to a netsim.Fabric via SetObserver and
+// dump (or filter) the tail after a run. Recording is allocation-light so
+// it can stay enabled in tests.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+)
+
+// Op is the event type.
+type Op uint8
+
+const (
+	// Drop is a packet lost at a switch queue.
+	Drop Op = iota
+	// Trim is a data packet cut to a header (NDP).
+	Trim
+	// Deliver is a packet handed to a destination protocol.
+	Deliver
+)
+
+var opNames = [...]string{"DROP", "TRIM", "DELIVER"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// Event is one recorded observation.
+type Event struct {
+	At   sim.Time
+	Op   Op
+	Kind packet.Kind
+	Src  int
+	Dst  int
+	Flow uint64
+	Seq  int
+	Size int
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s %-8s %-9s %3d->%-3d flow=%-6d seq=%-5d %dB",
+		e.At, e.Op, e.Kind, e.Src, e.Dst, e.Flow, e.Seq, e.Size)
+}
+
+// Recorder is a fixed-capacity ring buffer of events.
+type Recorder struct {
+	events []Event
+	next   int
+	filled bool
+	total  uint64
+}
+
+// NewRecorder returns a recorder keeping the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest once full.
+func (r *Recorder) Record(e Event) {
+	r.events[r.next] = e
+	r.next++
+	r.total++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Total returns how many events were ever recorded (including evicted).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *Recorder) Events() []Event {
+	if !r.filled {
+		return append([]Event(nil), r.events[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Filter returns retained events matching keep, oldest first.
+func (r *Recorder) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes retained events to w, oldest first.
+func (r *Recorder) Dump(w io.Writer) {
+	for _, e := range r.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// FlowEvents returns the retained events of one flow.
+func (r *Recorder) FlowEvents(flow uint64) []Event {
+	return r.Filter(func(e Event) bool { return e.Flow == flow })
+}
+
+// FromPacket builds an event from a packet at a given time.
+func FromPacket(at sim.Time, op Op, p *packet.Packet) Event {
+	return Event{
+		At: at, Op: op, Kind: p.Kind,
+		Src: p.Src, Dst: p.Dst, Flow: p.Flow, Seq: p.Seq, Size: p.Size,
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dcpim/internal/netsim"
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+	"dcpim/internal/topo"
+	"dcpim/internal/workload"
+)
+
+func TestRingBuffer(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: sim.Time(i), Flow: uint64(i)})
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	// Oldest first: flows 2, 3, 4.
+	for i, e := range evs {
+		if e.Flow != uint64(i+2) {
+			t.Fatalf("events = %+v", evs)
+		}
+	}
+}
+
+func TestRecorderPartial(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(Event{Flow: 7})
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Flow != 7 {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Zero capacity clamps to 1.
+	r2 := NewRecorder(0)
+	r2.Record(Event{Flow: 1})
+	r2.Record(Event{Flow: 2})
+	if evs := r2.Events(); len(evs) != 1 || evs[0].Flow != 2 {
+		t.Fatalf("clamped recorder events = %+v", evs)
+	}
+}
+
+func TestFilterAndFlowEvents(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Op: Drop, Flow: 1})
+	r.Record(Event{Op: Deliver, Flow: 2})
+	r.Record(Event{Op: Drop, Flow: 2})
+	drops := r.Filter(func(e Event) bool { return e.Op == Drop })
+	if len(drops) != 2 {
+		t.Fatalf("drops = %d", len(drops))
+	}
+	if evs := r.FlowEvents(2); len(evs) != 2 {
+		t.Fatalf("flow 2 events = %d", len(evs))
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := NewRecorder(2)
+	p := packet.NewData(1, 2, 9, 4, packet.MTU, 3)
+	r.Record(FromPacket(sim.Time(5*sim.Microsecond), Trim, p))
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"TRIM", "DATA", "1->2", "flow=9", "seq=4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump %q missing %q", out, want)
+		}
+	}
+	if Op(99).String() != "OP(99)" {
+		t.Fatal("unknown op string")
+	}
+}
+
+// End-to-end: a recorder attached to fabric hooks captures drops and
+// trims from a real simulation.
+func TestFabricIntegration(t *testing.T) {
+	eng := sim.NewEngine(1)
+	tp := topo.SmallLeafSpine().Build()
+	fab := netsim.New(eng, tp, netsim.Config{
+		Spray:              true,
+		TrimThresholdBytes: 8 * packet.MTU,
+	})
+	rec := NewRecorder(1024)
+	fab.TrimHook = func(p *packet.Packet) {
+		rec.Record(FromPacket(eng.Now(), Trim, p))
+	}
+	fab.DropHook = func(p *packet.Packet) {
+		rec.Record(FromPacket(eng.Now(), Drop, p))
+	}
+	for i := 0; i < tp.NumHosts; i++ {
+		fab.AttachProtocol(i, nop{})
+	}
+	fab.Start()
+	for src := 1; src < 8; src++ {
+		for i := 0; i < 20; i++ {
+			fab.Host(src).Send(packet.NewData(src, 0, uint64(src), i, packet.MTU, packet.PrioDataHigh))
+		}
+	}
+	eng.RunAll()
+	trims := rec.Filter(func(e Event) bool { return e.Op == Trim })
+	if len(trims) == 0 {
+		t.Fatal("no trim events recorded")
+	}
+	if int64(len(trims)) != fab.Counters.Trims {
+		t.Fatalf("recorded %d trims, counters say %d", len(trims), fab.Counters.Trims)
+	}
+}
+
+type nop struct{}
+
+func (nop) Start(*netsim.Host)          {}
+func (nop) OnFlowArrival(workload.Flow) {}
+func (nop) OnPacket(*packet.Packet)     {}
