@@ -90,6 +90,7 @@ func BenchmarkAblations(b *testing.B)          { benchExperiment(b, "ablation", 
 // BenchmarkPIMMatching measures the abstract matching algorithm at the
 // paper's scale (144 hosts, sparse).
 func BenchmarkPIMMatching(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	g := matching.RandomGraph(rng, 144, 144, 4)
 	b.ResetTimer()
@@ -100,6 +101,7 @@ func BenchmarkPIMMatching(b *testing.B) {
 
 // BenchmarkChannelMatching measures the k-channel variant.
 func BenchmarkChannelMatching(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	g := matching.RandomGraph(rng, 144, 144, 4)
 	b.ResetTimer()
@@ -111,6 +113,7 @@ func BenchmarkChannelMatching(b *testing.B) {
 // BenchmarkFabricForwarding measures raw fabric throughput: packets per
 // second the simulator pushes through a loaded leaf-spine.
 func BenchmarkFabricForwarding(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.NewEngine(1)
 	tp := topo.SmallLeafSpine().Build()
 	fab := netsim.New(eng, tp, netsim.Config{Spray: true})
@@ -138,9 +141,48 @@ func (nopProto) Start(*netsim.Host)          {}
 func (nopProto) OnFlowArrival(workload.Flow) {}
 func (nopProto) OnPacket(*packet.Packet)     {}
 
+// TestForwardingAllocs pins the hot-path allocation budget: once the event
+// free list and packet pool are warm, forwarding a packet through the
+// fabric (NIC, two or three switch hops, delivery) must not allocate. The
+// budget of 1/16 alloc per packet leaves room only for amortized queue
+// growth.
+func TestForwardingAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; alloc counts unstable")
+	}
+	eng := sim.NewEngine(1)
+	tp := topo.SmallLeafSpine().Build()
+	fab := netsim.New(eng, tp, netsim.Config{Spray: true})
+	for i := 0; i < tp.NumHosts; i++ {
+		fab.AttachProtocol(i, nopProto{})
+	}
+	fab.Start()
+	seq := 0
+	batch := func() {
+		for i := 0; i < 64; i++ {
+			src := seq % 8
+			dst := (seq + 1) % 8
+			fab.Host(src).Send(packet.NewData(src, dst, uint64(seq), 0, packet.MTU, packet.PrioShort))
+			seq++
+		}
+		eng.RunAll()
+	}
+	// Warm the pools: the first batches grow the heap, the heap backing
+	// array, per-port queues and the packet pool.
+	for i := 0; i < 16; i++ {
+		batch()
+	}
+	perBatch := testing.AllocsPerRun(50, batch)
+	if perPacket := perBatch / 64; perPacket > 1.0/16 {
+		t.Fatalf("forwarding allocates %.3f allocs/packet (%.1f per 64-packet batch), want ~0",
+			perPacket, perBatch)
+	}
+}
+
 // BenchmarkDcPIMEndToEnd measures full dcPIM simulation cost: simulated
 // microseconds per wall second on an 8-host fabric at load 0.6.
 func BenchmarkDcPIMEndToEnd(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine(int64(i + 1))
 		tp := topo.SmallLeafSpine().Build()
@@ -159,6 +201,7 @@ func BenchmarkDcPIMEndToEnd(b *testing.B) {
 
 // BenchmarkWorkloadGeneration measures trace generation throughput.
 func BenchmarkWorkloadGeneration(b *testing.B) {
+	b.ReportAllocs()
 	dist := workload.WebSearch()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

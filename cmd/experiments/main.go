@@ -8,12 +8,16 @@
 //	experiments -run fig3a
 //	experiments -run all -scale 0.25      # quicker, lower-fidelity pass
 //	experiments -run fig5cd -hosts 16     # scaled-down topology
+//	experiments -run fig3a -parallel 8    # sweep probes on 8 workers
+//	experiments -run fig3b -cpuprofile cpu.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dcpim/internal/experiments"
@@ -21,11 +25,14 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment id to run, or 'all'")
-		list  = flag.Bool("list", false, "list experiments")
-		seed  = flag.Int64("seed", 1, "random seed")
-		scale = flag.Float64("scale", 1, "horizon scale factor (1 = paper fidelity)")
-		hosts = flag.Int("hosts", 0, "topology size override (0 = paper size)")
+		run        = flag.String("run", "", "experiment id to run, or 'all'")
+		list       = flag.Bool("list", false, "list experiments")
+		seed       = flag.Int64("seed", 1, "random seed")
+		scale      = flag.Float64("scale", 1, "horizon scale factor (1 = paper fidelity)")
+		hosts      = flag.Int("hosts", 0, "topology size override (0 = paper size)")
+		parallel   = flag.Int("parallel", 0, "concurrent simulations in sweeps (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -40,7 +47,21 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Hosts: *hosts}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Hosts: *hosts, Workers: *parallel}
 	var todo []experiments.Experiment
 	if *run == "all" {
 		todo = experiments.All()
@@ -64,5 +85,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("(%s wall time)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

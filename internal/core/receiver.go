@@ -77,7 +77,7 @@ type tokenLoop struct {
 	interval sim.Duration
 	epoch    int64
 	stalled  bool
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // receiver is the admit half of a dcPIM host: it initiates matching with
@@ -239,9 +239,7 @@ func (r *receiver) onEpochStart(e int64) {
 	}
 	// Swap in the matching computed during the previous epoch.
 	for _, l := range r.loops {
-		if l.timer != nil {
-			l.timer.Cancel()
-		}
+		l.timer.Cancel()
 	}
 	r.matchedNow = r.matchedNext
 	r.matchedNext = make(map[int]int)
@@ -298,7 +296,7 @@ func (r *receiver) fireLoop(l *tokenLoop) {
 	}
 	if best == nil {
 		l.stalled = true
-		l.timer = nil
+		l.timer = sim.Timer{}
 		return
 	}
 	r.issueToken(l, best, bestSeq)
@@ -340,6 +338,11 @@ func (r *receiver) requestStage(epoch int64, round int) {
 	if round == 0 {
 		r.matchEpoch = epoch
 		r.used = 0
+		for _, buf := range r.grantBuf {
+			for _, g := range buf {
+				packet.Release(g) // offer expired with its epoch
+			}
+		}
 		r.grantBuf = make([][]*packet.Packet, r.p.cfg.Rounds)
 		r.matchedNext = make(map[int]int)
 		r.planned = r.computePlanned()
@@ -408,6 +411,7 @@ func (r *receiver) onGrant(g *packet.Packet) {
 	if g.Epoch != r.matchEpoch || g.Round < 0 || g.Round >= len(r.grantBuf) {
 		return
 	}
+	g.Keep() // buffered until the round's accept tick
 	r.grantBuf[g.Round] = append(r.grantBuf[g.Round], g)
 }
 
@@ -454,6 +458,9 @@ func (r *receiver) acceptStage(epoch int64, round int) {
 		free -= take
 		r.matchedNext[g.Src] += take
 		r.planned[g.Src] -= int64(take) * r.p.tm.channelBytes
+	}
+	for _, g := range grants {
+		packet.Release(g) // drained this round, accepted or not
 	}
 }
 

@@ -51,8 +51,8 @@ type sendFlow struct {
 	sentCnt int
 
 	notifAcked bool
-	notifTimer *sim.Timer
-	finTimer   *sim.Timer
+	notifTimer sim.Timer
+	finTimer   sim.Timer
 	finSent    bool
 	done       bool
 }
@@ -110,9 +110,7 @@ func (s *sender) onNotificationAck(pkt *packet.Packet) {
 		return
 	}
 	f.notifAcked = true
-	if f.notifTimer != nil {
-		f.notifTimer.Cancel()
-	}
+	f.notifTimer.Cancel()
 }
 
 // transmitData sends packet seq of f at the given priority.
@@ -156,26 +154,22 @@ func (s *sender) onFinishReceiver(pkt *packet.Packet) {
 		return
 	}
 	f.done = true
-	if f.finTimer != nil {
-		f.finTimer.Cancel()
-	}
-	if f.notifTimer != nil {
-		f.notifTimer.Cancel()
-	}
+	f.finTimer.Cancel()
+	f.notifTimer.Cancel()
 	delete(s.flows, f.id)
 }
 
-// onToken queues an admission token and kicks the pacer.
+// onToken queues an admission token and kicks the pacer. The token
+// packet outlives OnPacket (it sits in the queue until spent), so the
+// sender takes ownership and releases it in pace/popValidToken.
 func (s *sender) onToken(tok *packet.Packet) {
 	f := s.flows[tok.Flow]
 	if f == nil || f.done {
 		return
 	}
-	if f.finTimer != nil {
-		// New admissions supersede the finish cycle (retransmissions).
-		f.finTimer.Cancel()
-		f.finTimer = nil
-	}
+	// New admissions supersede the finish cycle (retransmissions).
+	f.finTimer.Cancel()
+	tok.Keep()
 	s.tokens = append(s.tokens, tok)
 	s.kickPacer()
 }
@@ -185,7 +179,11 @@ func (s *sender) kickPacer() {
 		return
 	}
 	s.pacing = true
-	s.pace()
+	// Deferred one event: pacing immediately could spend — and release — a
+	// token inside its own OnPacket delivery, which the packet ownership
+	// contract forbids (the fabric still touches the packet after OnPacket
+	// returns).
+	s.p.eng.After(0, s.pace)
 }
 
 // pace runs every MTU transmission time while tokens are queued: it sends
@@ -211,7 +209,9 @@ func (s *sender) pace() {
 	if prio < packet.PrioDataHigh || prio > packet.PrioDataLow {
 		prio = packet.PrioDataHigh
 	}
-	s.transmitData(f, tok.Seq, prio)
+	seq := tok.Seq
+	packet.Release(tok) // spent
+	s.transmitData(f, seq, prio)
 	if f.sentCnt == f.npkts {
 		s.maybeFinish(f)
 	}
@@ -232,9 +232,11 @@ func (s *sender) popValidToken() *packet.Packet {
 		case tok.Epoch == s.dataEpoch-1 && now <= graceEnd:
 			// Previous phase, still within the grace period.
 		default:
-			continue // expired
+			packet.Release(tok) // expired
+			continue
 		}
 		if f := s.flows[tok.Flow]; f == nil || f.done {
+			packet.Release(tok)
 			continue
 		}
 		return tok
@@ -250,6 +252,11 @@ func (s *sender) onEpochStart(e int64) {
 	s.committed = 0
 	s.reserved = 0
 	s.rounds = make([]roundState, s.p.cfg.Rounds)
+	for _, buf := range s.rtsBuf {
+		for _, r := range buf {
+			packet.Release(r) // request never granted before its epoch ended
+		}
+	}
 	s.rtsBuf = make([][]*packet.Packet, s.p.cfg.Rounds)
 	// Tokens from before the previous epoch can never become valid again;
 	// drop them eagerly so the queue stays short.
@@ -257,6 +264,8 @@ func (s *sender) onEpochStart(e int64) {
 	for _, t := range s.tokens {
 		if t.Epoch >= e-1 {
 			live = append(live, t)
+		} else {
+			packet.Release(t)
 		}
 	}
 	s.tokens = live
@@ -272,6 +281,7 @@ func (s *sender) onRTS(rts *packet.Packet) {
 	if rts.Epoch != s.matchEpoch || rts.Round < 0 || rts.Round >= s.p.cfg.Rounds {
 		return
 	}
+	rts.Keep() // buffered until the round's grant tick
 	s.rtsBuf[rts.Round] = append(s.rtsBuf[rts.Round], rts)
 }
 
@@ -320,6 +330,9 @@ func (s *sender) grantStage(epoch int64, round int) {
 	}
 	free := s.p.cfg.Channels - s.committed - s.reserved
 	if free <= 0 {
+		for _, r := range reqs {
+			packet.Release(r)
+		}
 		return
 	}
 	if round == 0 && s.p.cfg.FCTRound {
@@ -350,6 +363,9 @@ func (s *sender) grantStage(epoch int64, round int) {
 		free -= give
 		s.reserved += give
 		s.rounds[round].granted += give
+	}
+	for _, r := range reqs {
+		packet.Release(r) // drained this round, granted or not
 	}
 }
 

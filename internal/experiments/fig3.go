@@ -9,19 +9,24 @@ import (
 	"dcpim/internal/workload"
 )
 
-// loadRun generates an all-to-all trace at the given load on the topology
-// and runs one protocol over it, with 50% drain time past the trace
-// horizon.
-func loadRun(o Options, proto string, dist workload.SizeDist, load float64, horizon sim.Duration) RunResult {
+// loadSpec generates an all-to-all trace at the given load on the default
+// topology and describes one protocol run over it, with 50% drain time
+// past the trace horizon. Sweeps batch these through RunMany.
+func loadSpec(o Options, proto string, dist workload.SizeDist, load float64, horizon sim.Duration) RunSpec {
 	tp := leafSpineFor(o.Hosts)
 	tr := workload.AllToAllConfig{
 		Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: load,
 		Dist: dist, Horizon: horizon, Seed: o.Seed,
 	}.Generate()
-	return Run(RunSpec{
+	return RunSpec{
 		Protocol: proto, Topo: tp, Trace: tr,
 		Horizon: horizon + horizon/2, Seed: o.Seed + 77,
-	})
+	}
+}
+
+// loadRun executes loadSpec immediately (single-run call sites).
+func loadRun(o Options, proto string, dist workload.SizeDist, load float64, horizon sim.Duration) RunResult {
+	return Run(loadSpec(o, proto, dist, load, horizon))
 }
 
 // RunFig3a reproduces Figure 3(a): the maximum load each protocol
@@ -40,22 +45,37 @@ func RunFig3a(o Options, w io.Writer) error {
 
 	fmt.Fprintf(w, "Figure 3(a): max sustainable load, %s, leaf-spine (horizon %v)\n\n", dist.Name(), horizon)
 	tbl := newTable("protocol", "max-load", "capped-util@max", "probes")
-	for _, proto := range Comparators {
-		lo, hi := 0.40, 0.96
-		probes := 0
-		utilAt := 0.0
-		for hi-lo > 0.03 {
-			mid := (lo + hi) / 2
-			res := loadRun(o, proto, dist, mid, horizon)
-			probes++
+	// All protocols bisect the same starting interval, so they need the
+	// same number of probes and the searches advance in lockstep: each
+	// iteration probes every protocol's midpoint as one RunMany batch.
+	// Per-protocol trajectories are unchanged from a serial search.
+	type search struct {
+		lo, hi, utilAt float64
+		probes         int
+	}
+	ss := make([]search, len(Comparators))
+	for i := range ss {
+		ss[i] = search{lo: 0.40, hi: 0.96}
+	}
+	for ss[0].hi-ss[0].lo > 0.03 {
+		specs := make([]RunSpec, len(Comparators))
+		for i, proto := range Comparators {
+			specs[i] = loadSpec(o, proto, dist, (ss[i].lo+ss[i].hi)/2, horizon)
+		}
+		for i, res := range RunMany(specs, o.workers()) {
+			s := &ss[i]
+			mid := (s.lo + s.hi) / 2
+			s.probes++
 			if sustainsCapped(res) {
-				lo = mid
-				utilAt = res.CappedUtilization()
+				s.lo = mid
+				s.utilAt = res.CappedUtilization()
 			} else {
-				hi = mid
+				s.hi = mid
 			}
 		}
-		tbl.add(proto, lo, utilAt, probes)
+	}
+	for i, proto := range Comparators {
+		tbl.add(proto, ss[i].lo, ss[i].utilAt, ss[i].probes)
 	}
 	tbl.write(w)
 	fmt.Fprintln(w, "\npaper: dcPIM 0.84, Homa Aeolus ~0.8, HPCC/NDP lower")
@@ -80,9 +100,17 @@ func RunFig3b(o Options, w io.Writer) error {
 	horizon := o.scaled(2 * sim.Millisecond)
 	fmt.Fprintf(w, "Figure 3(b): mean slowdown across all flows at load 0.6 (horizon %v)\n\n", horizon)
 	tbl := newTable("workload", "protocol", "mean", "p99", "completed")
-	for _, dist := range fig3Workloads() {
+	dists := fig3Workloads()
+	var specs []RunSpec
+	for _, dist := range dists {
 		for _, proto := range Comparators {
-			res := loadRun(o, proto, dist, 0.6, horizon)
+			specs = append(specs, loadSpec(o, proto, dist, 0.6, horizon))
+		}
+	}
+	results := RunMany(specs, o.workers())
+	for di, dist := range dists {
+		for pi, proto := range Comparators {
+			res := results[di*len(Comparators)+pi]
 			s := stats.Summarize(res.Records, nil)
 			tbl.add(dist.Name(), proto, s.Mean, s.P99, fmt.Sprintf("%d/%d", res.Col.Completed(), res.Started))
 		}
@@ -102,11 +130,19 @@ func RunFig3cde(o Options, w io.Writer) error {
 	tp := leafSpineFor(o.Hosts)
 	buckets := stats.DefaultBuckets(tp.BDP())
 	fmt.Fprintf(w, "Figure 3(c-e): slowdown by flow size at load 0.6 (horizon %v)\n", horizon)
-	for _, dist := range fig3Workloads() {
+	dists := fig3Workloads()
+	var specs []RunSpec
+	for _, dist := range dists {
+		for _, proto := range Comparators {
+			specs = append(specs, loadSpec(o, proto, dist, 0.6, horizon))
+		}
+	}
+	results := RunMany(specs, o.workers())
+	for di, dist := range dists {
 		fmt.Fprintf(w, "\n-- workload %s --\n", dist.Name())
 		tbl := newTable(append([]string{"protocol", "metric"}, bucketLabels(buckets)...)...)
-		for _, proto := range Comparators {
-			res := loadRun(o, proto, dist, 0.6, horizon)
+		for pi, proto := range Comparators {
+			res := results[di*len(Comparators)+pi]
 			bs := stats.BucketSlowdowns(res.Records, buckets)
 			mean := []any{proto, "mean"}
 			tail := []any{proto, "p99"}

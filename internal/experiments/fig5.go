@@ -23,18 +23,26 @@ func RunFig5ab(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "Figure 5(a,b): oversubscribed (2:1) leaf-spine at load 0.5 (horizon %v)\n", horizon)
 	fmt.Fprintln(w, "(Homa Aeolus omitted, as in the paper)")
 	buckets := stats.DefaultBuckets(tp.BDP())
-	for _, dist := range fig3Workloads() {
-		fmt.Fprintf(w, "\n-- workload %s --\n", dist.Name())
-		tbl := newTable(append([]string{"protocol", "metric"}, bucketLabels(buckets)...)...)
+	dists := fig3Workloads()
+	var specs []RunSpec
+	for _, dist := range dists {
 		for _, proto := range protos {
 			tr := workload.AllToAllConfig{
 				Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.5,
 				Dist: dist, Horizon: horizon, Seed: o.Seed,
 			}.Generate()
-			res := Run(RunSpec{
+			specs = append(specs, RunSpec{
 				Protocol: proto, Topo: tp, Trace: tr,
 				Horizon: horizon + horizon/2, Seed: o.Seed + 13,
 			})
+		}
+	}
+	results := RunMany(specs, o.workers())
+	for di, dist := range dists {
+		fmt.Fprintf(w, "\n-- workload %s --\n", dist.Name())
+		tbl := newTable(append([]string{"protocol", "metric"}, bucketLabels(buckets)...)...)
+		for pi, proto := range protos {
+			res := results[di*len(protos)+pi]
 			bs := stats.BucketSlowdowns(res.Records, buckets)
 			mean := []any{proto, "mean"}
 			tail := []any{proto, "p99"}
@@ -63,18 +71,25 @@ func RunFig5cd(o Options, w io.Writer) error {
 
 	fmt.Fprintf(w, "Figure 5(c,d): FatTree %s at load 0.6 (horizon %v)\n", tp.Name, horizon)
 	buckets := stats.DefaultBuckets(tp.BDP())
+	var specs []RunSpec
 	for _, dist := range dists {
-		fmt.Fprintf(w, "\n-- workload %s --\n", dist.Name())
-		tbl := newTable(append([]string{"protocol", "metric"}, bucketLabels(buckets)...)...)
 		for _, proto := range Comparators {
 			tr := workload.AllToAllConfig{
 				Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.6,
 				Dist: dist, Horizon: horizon, Seed: o.Seed,
 			}.Generate()
-			res := Run(RunSpec{
+			specs = append(specs, RunSpec{
 				Protocol: proto, Topo: tp, Trace: tr,
 				Horizon: horizon + horizon/2, Seed: o.Seed + 21,
 			})
+		}
+	}
+	results := RunMany(specs, o.workers())
+	for di, dist := range dists {
+		fmt.Fprintf(w, "\n-- workload %s --\n", dist.Name())
+		tbl := newTable(append([]string{"protocol", "metric"}, bucketLabels(buckets)...)...)
+		for pi, proto := range Comparators {
+			res := results[di*len(Comparators)+pi]
 			bs := stats.BucketSlowdowns(res.Records, buckets)
 			mean := []any{proto, "mean"}
 			tail := []any{proto, "p99"}

@@ -22,15 +22,18 @@ func RunFig6(o Options, w io.Writer) error {
 	tp := leafSpineFor(o.Hosts)
 	dist := workload.IMC10()
 
-	runWith := func(cfg core.Config) (util float64, short, all stats.Summary) {
+	specFor := func(cfg core.Config) RunSpec {
 		tr := workload.AllToAllConfig{
 			Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: load,
 			Dist: dist, Horizon: horizon, Seed: o.Seed,
 		}.Generate()
-		res := Run(RunSpec{
+		c := cfg
+		return RunSpec{
 			Protocol: DCPIM, Topo: tp, Trace: tr,
-			Horizon: horizon + horizon/2, Seed: o.Seed + 31, DcPIM: &cfg,
-		})
+			Horizon: horizon + horizon/2, Seed: o.Seed + 31, DcPIM: &c,
+		}
+	}
+	summarize := func(res RunResult) (util float64, short, all stats.Summary) {
 		util = steadyUtilization(res, horizon/2, horizon) / load
 		short = stats.Summarize(res.Records, func(r stats.FlowRecord) bool {
 			return r.Size <= tp.BDP()
@@ -39,34 +42,51 @@ func RunFig6(o Options, w io.Writer) error {
 		return
 	}
 
+	// All three sweeps are independent probes of one parameter each; run
+	// them as a single batch and print from the ordered results.
+	rounds := []int{1, 2, 4, 6, 8}
+	channels := []int{1, 2, 4, 8}
+	betas := []float64{1.0, 1.1, 1.3, 2.0, 3.0}
+	var specs []RunSpec
+	for _, r := range rounds {
+		cfg := core.DefaultConfig()
+		cfg.Rounds = r
+		specs = append(specs, specFor(cfg))
+	}
+	for _, k := range channels {
+		cfg := core.DefaultConfig()
+		cfg.Channels = k
+		specs = append(specs, specFor(cfg))
+	}
+	for _, b := range betas {
+		cfg := core.DefaultConfig()
+		cfg.Beta = b
+		specs = append(specs, specFor(cfg))
+	}
+	results := RunMany(specs, o.workers())
+
 	fmt.Fprintf(w, "Figure 6: dcPIM sensitivity at load %.2f (horizon %v)\n", load, horizon)
 
 	fmt.Fprintf(w, "\n-- rounds r (k=4, β=1.3) --\n")
 	tbl := newTable("r", "goodput/offered", "short-mean", "short-p99", "all-mean")
-	for _, r := range []int{1, 2, 4, 6, 8} {
-		cfg := core.DefaultConfig()
-		cfg.Rounds = r
-		util, short, all := runWith(cfg)
+	for i, r := range rounds {
+		util, short, all := summarize(results[i])
 		tbl.add(r, util, short.Mean, short.P99, all.Mean)
 	}
 	tbl.write(w)
 
 	fmt.Fprintf(w, "\n-- channels k (r=4, β=1.3) --\n")
 	tbl = newTable("k", "goodput/offered", "short-mean", "short-p99", "all-mean")
-	for _, k := range []int{1, 2, 4, 8} {
-		cfg := core.DefaultConfig()
-		cfg.Channels = k
-		util, short, all := runWith(cfg)
+	for i, k := range channels {
+		util, short, all := summarize(results[len(rounds)+i])
 		tbl.add(k, util, short.Mean, short.P99, all.Mean)
 	}
 	tbl.write(w)
 
 	fmt.Fprintf(w, "\n-- slack β (r=4, k=4) --\n")
 	tbl = newTable("beta", "goodput/offered", "short-mean", "short-p99", "all-mean")
-	for _, b := range []float64{1.0, 1.1, 1.3, 2.0, 3.0} {
-		cfg := core.DefaultConfig()
-		cfg.Beta = b
-		util, short, all := runWith(cfg)
+	for i, b := range betas {
+		util, short, all := summarize(results[len(rounds)+len(channels)+i])
 		tbl.add(b, util, short.Mean, short.P99, all.Mean)
 	}
 	tbl.write(w)

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"dcpim/internal/core"
 	"dcpim/internal/netsim"
@@ -49,6 +50,10 @@ type Options struct {
 	// Hosts overrides topology size where the experiment allows scaling
 	// (0 = the paper's size).
 	Hosts int
+	// Workers bounds how many simulations sweep experiments run
+	// concurrently through RunMany (0 = GOMAXPROCS, 1 = serial). Results
+	// and printed output are identical at any setting.
+	Workers int
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -59,6 +64,14 @@ func (o Options) scaled(d sim.Duration) sim.Duration {
 		return d
 	}
 	return sim.Duration(float64(d) * o.Scale)
+}
+
+// workers resolves the worker-pool size for RunMany.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // RunSpec describes one simulation run.

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// RunMany executes the given runs on a pool of workers goroutines and
+// returns their results in input order. workers <= 1 (or a single spec)
+// degenerates to the plain serial loop.
+//
+// Determinism contract: every simulation is hermetic — it owns its engine,
+// RNG, fabric and collector, all seeded from the spec alone — so each
+// RunResult is a pure function of its RunSpec. Parallel execution therefore
+// yields exactly the results of the serial loop, in the same order; only
+// wall-clock time changes. The one shared structure, the packet free pool,
+// is a sync.Pool holding only zeroed packets, so pool scheduling cannot
+// leak state between runs. Experiments exploit this by batching independent
+// probes (sweep points, bisection iterations) through RunMany and printing
+// from the ordered results, which keeps their output byte-identical to a
+// serial run at any worker count.
+func RunMany(specs []RunSpec, workers int) []RunResult {
+	results := make([]RunResult, len(specs))
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i := range specs {
+			results[i] = Run(specs[i])
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				results[i] = Run(specs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -95,10 +95,11 @@ type Fabric struct {
 
 	// DeliverHook, when set, observes every packet delivered to a
 	// destination protocol (after host stack delay). Experiments use it
-	// for utilization time series.
+	// for utilization time series. Hooks must copy what they need: the
+	// fabric recycles the packet after the observation completes.
 	DeliverHook func(host int, p *packet.Packet)
 	// DropHook, when set, observes every packet dropped at a switch or
-	// NIC queue (tracing, debugging).
+	// NIC queue (tracing, debugging). Same copy rule as DeliverHook.
 	DropHook func(p *packet.Packet)
 	// TrimHook, when set, observes every packet trimmed to a header.
 	TrimHook func(p *packet.Packet)
@@ -217,23 +218,33 @@ func (h *Host) Send(p *packet.Packet) {
 		panic("netsim: packet Src does not match sending host")
 	}
 	p.SentAt = h.fab.eng.Now()
-	h.fab.eng.After(h.fab.topo.HostDelay, func() {
-		h.nic.enqueue(p)
-	})
+	h.fab.eng.AfterFunc(h.fab.topo.HostDelay, hostEnqueue, h, p, 0)
+}
+
+func hostEnqueue(a, b any, _ int) {
+	a.(*Host).nic.enqueue(b.(*packet.Packet))
 }
 
 // deliver passes a packet up the receive stack to the protocol.
 func (h *Host) deliver(p *packet.Packet) {
-	h.fab.eng.After(h.fab.topo.HostDelay, func() {
-		if p.Kind == packet.Data {
-			h.fab.Counters.DeliveredData++
-			h.fab.Counters.DeliveredBytes += int64(p.Size)
-		}
-		if h.fab.DeliverHook != nil {
-			h.fab.DeliverHook(h.id, p)
-		}
-		h.proto.OnPacket(p)
-	})
+	h.fab.eng.AfterFunc(h.fab.topo.HostDelay, hostDeliver, h, p, 0)
+}
+
+// hostDeliver is the fabric's delivery point and one of its two packet
+// release points: once the protocol's OnPacket returns the packet is
+// recycled, unless the protocol claimed it with packet.Keep.
+func hostDeliver(a, b any, _ int) {
+	h := a.(*Host)
+	p := b.(*packet.Packet)
+	if p.Kind == packet.Data {
+		h.fab.Counters.DeliveredData++
+		h.fab.Counters.DeliveredBytes += int64(p.Size)
+	}
+	if h.fab.DeliverHook != nil {
+		h.fab.DeliverHook(h.id, p)
+	}
+	h.proto.OnPacket(p)
+	packet.ReleaseUnlessKept(p)
 }
 
 // swDev is a running switch: per-port output queues plus PFC state.
@@ -254,7 +265,11 @@ type swDev struct {
 // (-1 for host-attached arrivals; those are accounted per their host
 // port). Processing latency is applied before enqueueing.
 func (d *swDev) receive(p *packet.Packet, in int) {
-	d.fab.eng.After(d.fab.topo.SwitchDelay, func() { d.forward(p, in) })
+	d.fab.eng.AfterFunc(d.fab.topo.SwitchDelay, swForward, d, p, in)
+}
+
+func swForward(a, b any, in int) {
+	a.(*swDev).forward(b.(*packet.Packet), in)
 }
 
 func (d *swDev) forward(p *packet.Packet, in int) {

@@ -21,6 +21,7 @@ type sink struct {
 func (s *sink) Start(h *Host)                 { s.host = h }
 func (s *sink) OnFlowArrival(f workload.Flow) {}
 func (s *sink) OnPacket(p *packet.Packet) {
+	p.Keep() // retained in received past OnPacket; tests inspect it later
 	s.received = append(s.received, p)
 	s.at = append(s.at, s.host.Engine().Now())
 	if s.onPacket != nil {

@@ -177,11 +177,18 @@ func (o *outPort) tryTransmit() {
 		})
 	}
 	eng := o.fab.eng
-	eng.After(tx, func() {
-		o.busy = false
-		o.tryTransmit()
-	})
-	eng.After(tx+o.delay, func() { o.deliverToPeer(p) })
+	eng.AfterFunc(tx, portTxDone, o, nil, 0)
+	eng.AfterFunc(tx+o.delay, portDeliver, o, p, 0)
+}
+
+func portTxDone(a, _ any, _ int) {
+	o := a.(*outPort)
+	o.busy = false
+	o.tryTransmit()
+}
+
+func portDeliver(a, b any, _ int) {
+	a.(*outPort).deliverToPeer(b.(*packet.Packet))
 }
 
 // deliverToPeer hands the packet to the device at the far end of the link.
@@ -246,9 +253,11 @@ func (d *swDev) signalUpstream(in int, pause bool) {
 	})
 }
 
-// dropped routes a drop to the DropHook, if any.
+// dropped routes a drop to the DropHook, if any, then recycles the
+// packet — the fabric's second release point (the first is delivery).
 func (f *Fabric) dropped(p *packet.Packet) {
 	if f.DropHook != nil {
 		f.DropHook(p)
 	}
+	packet.Release(p)
 }

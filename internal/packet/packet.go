@@ -9,6 +9,7 @@ package packet
 
 import (
 	"fmt"
+	"sync"
 
 	"dcpim/internal/sim"
 )
@@ -108,9 +109,16 @@ type INTHop struct {
 	RateBps    float64  // port line rate
 }
 
-// Packet is a simulated packet. Packets are heap-allocated and owned by the
-// fabric once sent; protocols must not retain or mutate a packet after
-// handing it to the fabric, and must treat received packets as read-only.
+// Packet is a simulated packet, allocated from a shared pool (Get) and
+// recycled (Release) when its owner is done with it.
+//
+// Ownership rules: the fabric owns a packet from the moment it is handed
+// to Host.Send until it is dropped or delivered; protocols must not retain
+// or mutate a packet after sending it. On delivery the fabric lends the
+// packet to Protocol.OnPacket and recycles it when OnPacket returns — a
+// protocol that needs the packet afterwards (e.g. buffering tokens or
+// grants for a later phase) must call Keep inside OnPacket, after which it
+// owns the packet and should Release it once consumed.
 type Packet struct {
 	Kind     Kind
 	Src, Dst int    // host ids
@@ -137,6 +145,51 @@ type Packet struct {
 	INT        []INTHop // telemetry, appended per hop
 	SentAt     sim.Time // when the source host handed the packet to its NIC
 	PauseClass uint8    // priority class a Pause/Resume applies to
+
+	keep bool // receiver claimed ownership past OnPacket (see Keep)
+}
+
+// pool recycles packets across the whole process. Packets carry no
+// engine-specific state, so concurrent simulations (experiments.RunMany)
+// share it safely.
+var pool = sync.Pool{New: func() any { return new(Packet) }}
+
+// Get returns a zeroed packet from the pool. Prefer NewControl/NewData,
+// which also fill the common fields.
+func Get() *Packet {
+	return pool.Get().(*Packet)
+}
+
+// Release zeroes p and returns it to the pool. The caller must own p and
+// drop every reference to it; the INT backing array is kept for reuse.
+func Release(p *Packet) {
+	hops := p.INT[:0]
+	*p = Packet{}
+	p.INT = hops
+	pool.Put(p)
+}
+
+// Keep marks a delivered packet as taken over by the receiving protocol:
+// the fabric will not recycle it after OnPacket returns. The protocol
+// then owns the packet and should Release it when consumed (leaving it to
+// the garbage collector is correct but defeats pooling). The release must
+// happen from a later event, never synchronously inside the OnPacket that
+// received the packet: the fabric reads the packet again right after
+// OnPacket returns, and a released packet may already have been reissued
+// by the pool — to a concurrent simulation under experiments.RunMany.
+func (p *Packet) Keep() { p.keep = true }
+
+// ReleaseUnlessKept is the fabric's post-delivery release point: it
+// recycles p unless the protocol claimed it with Keep, clearing the mark
+// either way. Because the fabric still touches the packet here, a protocol
+// must never Release a delivered packet inside OnPacket itself — it keeps
+// the packet and consumes it from a later event (see Keep).
+func ReleaseUnlessKept(p *Packet) {
+	if p.keep {
+		p.keep = false
+		return
+	}
+	Release(p)
 }
 
 // String renders a compact one-line description for traces and tests.
@@ -148,19 +201,19 @@ func (p *Packet) String() string {
 // NewControl builds a control packet of the given kind between two hosts at
 // the control priority with the standard control size.
 func NewControl(kind Kind, src, dst int, flow uint64) *Packet {
-	return &Packet{
-		Kind: kind, Src: src, Dst: dst, Flow: flow,
-		Size: HeaderSize, Priority: PrioControl,
-	}
+	p := Get()
+	p.Kind, p.Src, p.Dst, p.Flow = kind, src, dst, flow
+	p.Size, p.Priority = HeaderSize, PrioControl
+	return p
 }
 
 // NewData builds a full-size data packet for one MTU of flow payload.
 // The final packet of a flow may be smaller; callers size it explicitly.
 func NewData(src, dst int, flow uint64, seq int, size int, prio uint8) *Packet {
-	return &Packet{
-		Kind: Data, Src: src, Dst: dst, Flow: flow, Seq: seq,
-		Size: size, Priority: prio,
-	}
+	p := Get()
+	p.Kind, p.Src, p.Dst, p.Flow = Data, src, dst, flow
+	p.Seq, p.Size, p.Priority = seq, size, prio
+	return p
 }
 
 // DataPacketSize returns the on-wire size of data packet seq (0-indexed) of

@@ -96,7 +96,7 @@ type Proto struct {
 type rxState struct {
 	*flowtrack.Rx
 	lastProgress sim.Time
-	checker      *sim.Timer
+	checker      sim.Timer
 }
 
 // New returns an unattached Homa host.
@@ -281,9 +281,7 @@ func (p *Proto) onData(pkt *packet.Packet) {
 }
 
 func (p *Proto) completeRx(f *rxState) {
-	if f.checker != nil {
-		f.checker.Cancel()
-	}
+	f.checker.Cancel()
 	opt := p.host.Topo().UnloadedFCT(f.Src, p.id, f.Size)
 	p.col.FlowDone(stats.FlowRecord{
 		ID: f.ID, Src: f.Src, Dst: p.id, Size: f.Size,
@@ -372,10 +370,14 @@ func (p *Proto) onGrant(g *packet.Packet) {
 	if p.tx[g.Flow] == nil {
 		return
 	}
+	g.Keep() // queued as credit until spent
 	p.credits = append(p.credits, g)
 	if !p.pacing {
 		p.pacing = true
-		p.spendCredit()
+		// Deferred one event: spending now could release g inside its own
+		// OnPacket, which the packet ownership contract forbids (the
+		// fabric still touches the packet after OnPacket returns).
+		p.eng.After(0, p.spendCredit)
 	}
 }
 
@@ -404,6 +406,9 @@ func (p *Proto) spendCredit() {
 		}
 	}
 	if best < 0 {
+		for _, g := range p.credits {
+			packet.Release(g) // credit for flows that no longer exist
+		}
 		p.credits = p.credits[:0]
 		p.pacing = false
 		return
@@ -416,7 +421,9 @@ func (p *Proto) spendCredit() {
 	if prio == 0 || prio >= packet.NumPriorities {
 		prio = packet.PrioDataLow
 	}
-	p.sendData(f, g.Seq, prio, false)
+	seq := g.Seq
+	packet.Release(g) // spent
+	p.sendData(f, seq, prio, false)
 	p.eng.After(p.mtuTime, p.spendCredit)
 }
 

@@ -75,7 +75,7 @@ type txState struct {
 	nextSeq  int
 	cumAck   int   // packets acknowledged in order
 	inflight int64 // wire bytes in flight
-	rtoTimer *sim.Timer
+	rtoTimer sim.Timer
 	lastAck  sim.Time
 }
 
@@ -180,9 +180,7 @@ func (p *Proto) OnPacket(pkt *packet.Packet) {
 	case packet.FinishReceiver:
 		if f := p.tx[pkt.Flow]; f != nil {
 			f.Done = true
-			if f.rtoTimer != nil {
-				f.rtoTimer.Cancel()
-			}
+			f.rtoTimer.Cancel()
 			delete(p.tx, pkt.Flow)
 		}
 	}
@@ -208,7 +206,10 @@ func (p *Proto) onData(pkt *packet.Packet) {
 	ack.Seq = pkt.Seq
 	ack.CumAck = f.cum
 	ack.Count = pkt.Size // echo wire size for inflight accounting
-	ack.INT = pkt.INT
+	// Copy the telemetry rather than aliasing it: the fabric recycles pkt
+	// (and reuses its INT backing array) right after OnPacket returns,
+	// while the ack is just beginning its journey back to the sender.
+	ack.INT = append(ack.INT[:0], pkt.INT...)
 	p.host.Send(ack)
 
 	if payload > 0 && f.Done {

@@ -72,7 +72,7 @@ type txState struct {
 
 type rxState struct {
 	*flowtrack.Rx
-	checker *sim.Timer
+	checker sim.Timer
 }
 
 // New returns an unattached NDP host.
@@ -233,9 +233,7 @@ func (p *Proto) onData(pkt *packet.Packet) {
 }
 
 func (p *Proto) completeRx(f *rxState) {
-	if f.checker != nil {
-		f.checker.Cancel()
-	}
+	f.checker.Cancel()
 	opt := p.host.Topo().UnloadedFCT(f.Src, p.id, f.Size)
 	p.col.FlowDone(stats.FlowRecord{
 		ID: f.ID, Src: f.Src, Dst: p.id, Size: f.Size,

@@ -93,7 +93,7 @@ type txState struct {
 	srtt     sim.Duration
 	rttvar   sim.Duration
 	rto      sim.Duration
-	rtoTimer *sim.Timer
+	rtoTimer sim.Timer
 	recover  int // fast-recovery high-water seq
 }
 
@@ -171,9 +171,7 @@ func (p *Proto) sendSeq(f *txState, seq int) {
 }
 
 func (p *Proto) armRTO(f *txState) {
-	if f.rtoTimer != nil {
-		f.rtoTimer.Cancel()
-	}
+	f.rtoTimer.Cancel()
 	f.rtoTimer = p.eng.After(f.rto, func() { p.onRTO(f) })
 }
 
@@ -205,9 +203,7 @@ func (p *Proto) OnPacket(pkt *packet.Packet) {
 	case packet.FinishReceiver:
 		if f := p.tx[pkt.Flow]; f != nil {
 			f.Done = true
-			if f.rtoTimer != nil {
-				f.rtoTimer.Cancel()
-			}
+			f.rtoTimer.Cancel()
 			delete(p.tx, pkt.Flow)
 		}
 	}

@@ -1,41 +1,78 @@
 package sim
 
-import (
-	"container/heap"
-	"math/rand"
-)
+import "math/rand"
 
 // Engine is a deterministic discrete-event simulator. Events are executed
 // in non-decreasing timestamp order; events scheduled for the same instant
 // run in the order they were scheduled (stable FIFO tie-break), which keeps
 // protocol state machines deterministic.
+//
+// The event queue is an inlined 4-ary min-heap ordered by (time, seq): a
+// 4-ary layout halves tree depth versus binary, so the sift loops touch
+// fewer cache lines per operation, and inlining the comparisons avoids
+// container/heap's interface-call overhead. Fired and cancelled events are
+// recycled through a free list, so steady-state scheduling allocates
+// nothing.
 type Engine struct {
 	now    Time
-	queue  eventQueue
+	q      []*event // 4-ary min-heap by (at, seq)
 	seq    uint64
 	rng    *rand.Rand
 	nEvent uint64 // total events executed, for instrumentation
+	free   *event // recycled events, linked through event.next
 }
 
-// Timer is a handle to a scheduled event. It can be cancelled (lazily: the
-// event stays in the heap but becomes a no-op) or queried.
+// event is one scheduled callback. Events are owned by the engine: when
+// one fires or is cancelled it returns to the free list and its gen is
+// bumped, which atomically invalidates every outstanding Timer handle.
+type event struct {
+	eng *Engine
+	at  Time
+	seq uint64
+	gen uint32
+	idx int32 // heap index; -1 while on the free list
+
+	// Exactly one of fn / fnArgs is set. The argument form lets hot paths
+	// (one event per packet hop) schedule a package-level function plus
+	// its arguments without allocating a closure.
+	fnArgs func(a, b any, i int)
+	a, b   any
+	i      int
+	fn     func()
+
+	next *event // free-list link
+}
+
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// inert: Cancel is a no-op and Active reports false. A handle stays safe
+// to use after its event fires or is cancelled — the generation stamp
+// detects that the underlying event object has been recycled, so a stale
+// Cancel can never affect a newer timer reusing the same storage.
 type Timer struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int // heap index, -1 once popped
+	ev  *event
+	gen uint32
 }
 
-// At returns the time the timer fires.
-func (t *Timer) At() Time { return t.at }
+// Active reports whether the timer is still scheduled (not yet fired and
+// not cancelled).
+func (t Timer) Active() bool { return t.ev != nil && t.ev.gen == t.gen }
 
-// Cancel prevents the timer's callback from running. Safe to call more than
-// once, and safe to call on an already-fired timer.
-func (t *Timer) Cancel() { t.cancelled = true }
+// At returns the time the timer fires, or 0 if it is no longer active.
+func (t Timer) At() Time {
+	if t.Active() {
+		return t.ev.at
+	}
+	return 0
+}
 
-// Cancelled reports whether Cancel was called.
-func (t *Timer) Cancelled() bool { return t.cancelled }
+// Cancel removes the timer's event from the queue so it will never run.
+// Safe to call more than once, on the zero Timer, and on a timer that
+// already fired.
+func (t Timer) Cancel() {
+	if t.Active() {
+		t.ev.eng.remove(t.ev)
+	}
+}
 
 // NewEngine returns an engine with the clock at zero and a random source
 // seeded with seed.
@@ -53,52 +90,108 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Events returns the number of events executed so far.
 func (e *Engine) Events() uint64 { return e.nEvent }
 
-// Pending returns the number of events currently queued (including
-// cancelled events that have not yet been popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events currently queued. Cancelled
+// events are removed from the queue immediately and never counted.
+func (e *Engine) Pending() int { return len(e.q) }
 
-// Schedule runs fn at absolute time at. Scheduling in the past panics: it
-// would silently corrupt causality.
-func (e *Engine) Schedule(at Time, fn func()) *Timer {
+// alloc takes an event from the free list, or makes one.
+func (e *Engine) alloc() *event {
+	t := e.free
+	if t != nil {
+		e.free = t.next
+		t.next = nil
+		return t
+	}
+	return &event{eng: e}
+}
+
+// recycle invalidates outstanding handles and returns t to the free list.
+func (e *Engine) recycle(t *event) {
+	t.gen++
+	t.fn = nil
+	t.fnArgs = nil
+	t.a, t.b = nil, nil
+	t.i = 0
+	t.idx = -1
+	t.next = e.free
+	e.free = t
+}
+
+// push allocates an event at absolute time at and inserts it into the
+// heap. Scheduling in the past panics: it would silently corrupt
+// causality.
+func (e *Engine) push(at Time) *event {
 	if at < e.now {
 		panic("sim: scheduling event in the past")
 	}
-	t := &Timer{at: at, seq: e.seq, fn: fn}
+	t := e.alloc()
+	t.at = at
+	t.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, t)
+	t.idx = int32(len(e.q))
+	e.q = append(e.q, t)
+	e.siftUp(int(t.idx))
 	return t
 }
 
+// Schedule runs fn at absolute time at.
+func (e *Engine) Schedule(at Time, fn func()) Timer {
+	t := e.push(at)
+	t.fn = fn
+	return Timer{ev: t, gen: t.gen}
+}
+
 // After runs fn d after the current time.
-func (e *Engine) After(d Duration, fn func()) *Timer {
+func (e *Engine) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
 	return e.Schedule(e.now.Add(d), fn)
 }
 
-// Step executes the next pending event, if any, and reports whether one ran.
-// Cancelled events are skipped without being counted.
-func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		t := heap.Pop(&e.queue).(*Timer)
-		if t.cancelled {
-			continue
-		}
-		e.now = t.at
-		e.nEvent++
-		t.fn()
-		return true
+// AfterFunc runs fn(a, b, i) d after the current time. Unlike After it
+// captures the arguments in the event itself rather than in a closure, so
+// per-packet paths can schedule without allocating; fn should be a
+// package-level function. Pointer-shaped arguments (the usual case) do
+// not allocate when converted to any.
+func (e *Engine) AfterFunc(d Duration, fn func(a, b any, i int), a, b any, i int) Timer {
+	if d < 0 {
+		panic("sim: negative delay")
 	}
-	return false
+	t := e.push(e.now.Add(d))
+	t.fnArgs = fn
+	t.a, t.b, t.i = a, b, i
+	return Timer{ev: t, gen: t.gen}
+}
+
+// Step executes the next pending event, if any, and reports whether one
+// ran. The event is recycled before its callback runs, so the callback may
+// immediately reuse the storage by scheduling new events; its own handle
+// is already inert by the time it executes.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	t := e.q[0]
+	e.popRoot()
+	e.now = t.at
+	e.nEvent++
+	fn, fnArgs, a, b, i := t.fn, t.fnArgs, t.a, t.b, t.i
+	e.recycle(t)
+	if fnArgs != nil {
+		fnArgs(a, b, i)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue is empty or the clock would pass
 // until. Events stamped exactly at until still run. The clock is left at
 // the later of its current value and until when the horizon is hit.
 func (e *Engine) Run(until Time) {
-	for len(e.queue) > 0 {
-		if e.queue[0].at > until {
+	for len(e.q) > 0 {
+		if e.q[0].at > until {
 			break
 		}
 		e.Step()
@@ -117,36 +210,89 @@ func (e *Engine) RunAll() {
 	}
 }
 
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Timer
+// eventLess is the heap order: earlier time first, scheduling order as the
+// tie-break.
+func eventLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// popRoot removes the minimum event without recycling it (Step still
+// needs its fields).
+func (e *Engine) popRoot() {
+	n := len(e.q) - 1
+	last := e.q[n]
+	e.q[n] = nil
+	e.q = e.q[:n]
+	if n > 0 {
+		e.q[0] = last
+		last.idx = 0
+		e.siftDown(0)
 	}
-	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// remove deletes an arbitrary queued event (cancellation) and recycles it.
+func (e *Engine) remove(t *event) {
+	i := int(t.idx)
+	n := len(e.q) - 1
+	last := e.q[n]
+	e.q[n] = nil
+	e.q = e.q[:n]
+	if i != n {
+		e.q[i] = last
+		last.idx = int32(i)
+		e.siftUp(i)
+		if int(last.idx) == i {
+			e.siftDown(i)
+		}
+	}
+	e.recycle(t)
 }
 
-func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
+// siftUp restores the heap above index i (4-ary: parent of i is (i-1)/4).
+func (e *Engine) siftUp(i int) {
+	q := e.q
+	t := q[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		pt := q[p]
+		if !eventLess(t, pt) {
+			break
+		}
+		q[i] = pt
+		pt.idx = int32(i)
+		i = p
+	}
+	q[i] = t
+	t.idx = int32(i)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
+// siftDown restores the heap below index i (4-ary: children 4i+1..4i+4).
+func (e *Engine) siftDown(i int) {
+	q := e.q
+	n := len(q)
+	t := q[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m, mt := c, q[c]
+		hi := c + 4
+		if hi > n {
+			hi = n
+		}
+		for j := c + 1; j < hi; j++ {
+			if eventLess(q[j], mt) {
+				m, mt = j, q[j]
+			}
+		}
+		if !eventLess(mt, t) {
+			break
+		}
+		q[i] = mt
+		mt.idx = int32(i)
+		i = m
+	}
+	q[i] = t
+	t.idx = int32(i)
 }

@@ -98,16 +98,127 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine(1)
 	ran := false
 	tm := e.Schedule(10, func() { ran = true })
-	tm.Cancel()
-	if !tm.Cancelled() {
-		t.Fatal("Cancelled() = false after Cancel")
+	if !tm.Active() {
+		t.Fatal("Active() = false for a scheduled timer")
 	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("Active() = true after Cancel")
+	}
+	tm.Cancel() // double cancel is a no-op
 	e.RunAll()
 	if ran {
 		t.Fatal("cancelled event ran")
 	}
 	if e.Events() != 0 {
 		t.Fatalf("Events = %d, want 0", e.Events())
+	}
+}
+
+// Regression test for the lazy-cancel leak: cancelled timers used to stay
+// in the heap until popped, so Pending() overcounted and long-lived runs
+// with many cancellations (RTO timers, token loops) accumulated dead
+// entries. Cancel must remove the event immediately.
+func TestEngineCancelRemovesFromQueue(t *testing.T) {
+	e := NewEngine(1)
+	timers := make([]Timer, 1000)
+	for i := range timers {
+		timers[i] = e.Schedule(Time(10+i), func() {})
+	}
+	if e.Pending() != 1000 {
+		t.Fatalf("Pending = %d, want 1000", e.Pending())
+	}
+	for i, tm := range timers {
+		if i%2 == 0 {
+			tm.Cancel()
+		}
+	}
+	if e.Pending() != 500 {
+		t.Fatalf("Pending = %d after cancelling half, want 500", e.Pending())
+	}
+	ran := 0
+	e.Schedule(5000, func() { ran = e.Pending() })
+	e.RunAll()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+	_ = ran
+}
+
+// A handle to a fired timer must stay inert even after the engine recycles
+// the event for a new timer: cancelling through the stale handle must not
+// cancel the new occupant.
+func TestEngineStaleHandleSafety(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	stale := e.Schedule(10, func() {})
+	e.RunAll() // fires; event returns to the free list
+	if stale.Active() {
+		t.Fatal("handle still active after fire")
+	}
+	fresh := e.Schedule(20, func() { fired = true }) // reuses the event
+	stale.Cancel()                                   // must be a no-op
+	if !fresh.Active() {
+		t.Fatal("stale Cancel deactivated a recycled timer")
+	}
+	if stale.At() != 0 {
+		t.Fatalf("stale At() = %v, want 0", stale.At())
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("recycled timer did not fire after stale Cancel")
+	}
+}
+
+func TestTimerAt(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.Schedule(42, func() {})
+	if tm.At() != 42 {
+		t.Fatalf("At = %v, want 42", tm.At())
+	}
+	var zero Timer
+	zero.Cancel() // zero handle is inert
+	if zero.Active() {
+		t.Fatal("zero Timer is active")
+	}
+}
+
+// The free list must not leak behavior between reuses: schedule/fire in a
+// loop and verify ordering still holds with recycled events.
+func TestEngineFreeListReuse(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for round := 0; round < 3; round++ {
+		round := round
+		for i := 0; i < 50; i++ {
+			i := i
+			e.Schedule(e.Now().Add(Duration(1+i)), func() { order = append(order, round*50+i) })
+		}
+		e.RunAll()
+	}
+	if len(order) != 150 {
+		t.Fatalf("ran %d events, want 150", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestAfterFunc(t *testing.T) {
+	e := NewEngine(1)
+	type box struct{ n int }
+	bx := &box{}
+	e.AfterFunc(5, func(a, b any, i int) {
+		a.(*box).n = i
+		if b != nil {
+			t.Error("b leaked")
+		}
+	}, bx, nil, 7)
+	e.RunAll()
+	if bx.n != 7 {
+		t.Fatalf("AfterFunc arg = %d, want 7", bx.n)
 	}
 }
 
@@ -251,6 +362,7 @@ func TestEngineCancelSubsetProperty(t *testing.T) {
 }
 
 func BenchmarkEngineScheduleStep(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine(1)
 	r := rand.New(rand.NewSource(1))
 	// Keep a standing pool of 1024 pending events, schedule+pop in a loop.
