@@ -1,6 +1,7 @@
 // Command experiments regenerates the dcPIM paper's evaluation artifacts
-// (every table and figure of §4). Each experiment prints the rows or
-// series the paper plots.
+// (every table and figure of §4), plus extensions such as the fault
+// resilience grid. Each experiment prints the rows or series the paper
+// plots.
 //
 // Usage:
 //
@@ -9,6 +10,7 @@
 //	experiments -run all -scale 0.25      # quicker, lower-fidelity pass
 //	experiments -run fig5cd -hosts 16     # scaled-down topology
 //	experiments -run fig3a -parallel 8    # sweep probes on 8 workers
+//	experiments -run faults               # scripted link/switch/host faults
 //	experiments -run fig3b -cpuprofile cpu.pprof
 package main
 

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"dcpim/internal/faults"
+	"dcpim/internal/sim"
+	"dcpim/internal/workload"
+)
+
+// goldenFaults is the fixed schedule for the golden digest run: one
+// multi-epoch dark downlink, a total-loss burst, and a cold spine reboot.
+const goldenFaults = `
+linkdown sw=0 port=1 at=40us dur=90us
+burst sw=1 port=2 at=60us dur=30us rate=1.0
+reboot sw=2 at=100us dur=50us drain=drop
+`
+
+// goldenSpec builds the fixed-seed digest run. Every call constructs a
+// fresh trace and topology so serial and parallel executions share
+// nothing.
+func goldenSpec(t *testing.T, proto string, withFaults bool) RunSpec {
+	t.Helper()
+	tp := leafSpineFor(8)
+	tr := workload.AllToAllConfig{
+		Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.4,
+		Dist: workload.IMC10(), Horizon: 200 * sim.Microsecond, Seed: 42,
+	}.Generate()
+	spec := RunSpec{
+		Protocol: proto, Topo: tp, Trace: tr,
+		Horizon: 2 * sim.Millisecond, Seed: 99, Digest: true,
+	}
+	if withFaults {
+		sched, err := faults.ParseSchedule(goldenFaults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.Validate(tp); err != nil {
+			t.Fatal(err)
+		}
+		spec.Faults = sched
+	}
+	return spec
+}
+
+// Golden delivered-stream digests for goldenSpec. If a deliberate
+// behavior change shifts the packet stream, rerun
+//
+//	go test ./internal/experiments -run TestGoldenDigest -v
+//
+// and copy the measured digests printed in the failure. A change here
+// must be explainable by the commit touching protocol or fabric timing.
+const (
+	goldenDigestClean   uint64 = 0x8b585328efe0256b
+	goldenDigestFaulted uint64 = 0x8bd2213b1227a90a
+)
+
+// TestGoldenDigest locks the delivered-packet event stream of a
+// fixed-seed dcPIM run — with and without faults — to checked-in
+// digests, and requires serial and parallel RunMany execution to agree
+// bit-for-bit at any worker count.
+func TestGoldenDigest(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		faults bool
+		want   uint64
+	}{
+		{"clean", false, goldenDigestClean},
+		{"faulted", true, goldenDigestFaulted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := Run(goldenSpec(t, DCPIM, tc.faults))
+			if serial.Digest == 0 {
+				t.Fatal("digest not computed")
+			}
+			if serial.Digest != tc.want {
+				t.Errorf("digest %#016x, want %#016x (see regeneration note)", serial.Digest, tc.want)
+			}
+			specs := make([]RunSpec, 4)
+			for i := range specs {
+				specs[i] = goldenSpec(t, DCPIM, tc.faults)
+			}
+			for i, res := range RunMany(specs, 4) {
+				if res.Digest != serial.Digest {
+					t.Errorf("parallel run %d digest %#016x != serial %#016x", i, res.Digest, serial.Digest)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenDigestPerProtocol ensures digesting works for every
+// comparator (the fault grid runs them all) and that faults change the
+// stream while reruns do not.
+func TestGoldenDigestPerProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparator digest sweep")
+	}
+	for _, proto := range Comparators {
+		clean := Run(goldenSpec(t, proto, false))
+		again := Run(goldenSpec(t, proto, false))
+		faulted := Run(goldenSpec(t, proto, true))
+		if clean.Digest != again.Digest {
+			t.Errorf("%s: rerun digest %#x != %#x", proto, again.Digest, clean.Digest)
+		}
+		if clean.Digest == faulted.Digest {
+			t.Errorf("%s: fault schedule did not change delivered stream (%#x)", proto, clean.Digest)
+		}
+	}
+}
+
+// TestFaultsOutputParallelInvariant requires the faults experiment's
+// printed report to be byte-identical at -parallel 1, 4 and 8.
+func TestFaultsOutputParallelInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fault grid three times")
+	}
+	var ref bytes.Buffer
+	o := quick()
+	o.Workers = 1
+	if err := RunFaults(o, &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		var got bytes.Buffer
+		o.Workers = workers
+		if err := RunFaults(o, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref.Bytes(), got.Bytes()) {
+			t.Errorf("-parallel %d output differs from serial:\n%s\nvs\n%s", workers, got.String(), ref.String())
+		}
+	}
+}

@@ -11,7 +11,9 @@ import (
 	"runtime"
 
 	"dcpim/internal/core"
+	"dcpim/internal/faults"
 	"dcpim/internal/netsim"
+	"dcpim/internal/packet"
 	"dcpim/internal/protocols/fastpass"
 	"dcpim/internal/protocols/homa"
 	"dcpim/internal/protocols/hpcc"
@@ -84,6 +86,16 @@ type RunSpec struct {
 	BinWidth sim.Duration   // utilization series bin (0 = 10 µs)
 	DcPIM    *core.Config   // optional dcPIM parameter override
 	Fabric   *netsim.Config // optional fabric override
+
+	// Faults, when set, is installed on the fabric before the run: the
+	// resilience experiment scripts link failures, loss bursts, switch
+	// reboots and host pauses against every protocol identically.
+	Faults *faults.Schedule
+	// Digest, when set, folds every delivered packet (time, host, and
+	// header fields) into RunResult.Digest. Determinism tests compare
+	// digests across serial and parallel execution and against golden
+	// values.
+	Digest bool
 }
 
 // RunResult carries everything the figures need from one run.
@@ -98,6 +110,7 @@ type RunResult struct {
 	HostRate float64
 	Trace    *workload.Trace
 	End      sim.Time // simulation end (horizon)
+	Digest   uint64   // FNV-1a over the delivered-packet stream (RunSpec.Digest)
 }
 
 // Utilization returns goodput over the run relative to offered load.
@@ -155,11 +168,27 @@ func Run(spec RunSpec) RunResult {
 	}
 	fab := netsim.New(eng, spec.Topo, fc)
 	attach(fab)
+	var digest uint64
+	if spec.Digest {
+		digest = fnvOffset
+		fab.DeliverHook = func(host int, p *packet.Packet) {
+			digest = fnvMix(digest, uint64(eng.Now()))
+			digest = fnvMix(digest, uint64(host))
+			digest = fnvMix(digest, uint64(p.Kind)<<32|uint64(uint32(p.Size)))
+			digest = fnvMix(digest, uint64(uint32(p.Src))<<32|uint64(uint32(p.Dst)))
+			digest = fnvMix(digest, p.Flow)
+			digest = fnvMix(digest, uint64(p.Seq))
+		}
+	}
+	if spec.Faults != nil {
+		faults.Install(eng, fab, spec.Faults)
+	}
 	fab.Start()
 	fab.Inject(spec.Trace)
 	eng.Run(sim.Time(spec.Horizon))
 
 	return RunResult{
+		Digest:   digest,
 		Protocol: spec.Protocol,
 		Records:  col.Records(),
 		Col:      col,
@@ -171,6 +200,22 @@ func Run(spec RunSpec) RunResult {
 		Trace:    spec.Trace,
 		End:      sim.Time(spec.Horizon),
 	}
+}
+
+// FNV-1a 64 folded over 8-byte words: cheap enough to run on every
+// delivered packet and stable across Go versions (unlike maphash).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvMix(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xff
+		h *= fnvPrime
+		w >>= 8
+	}
+	return h
 }
 
 // protocolSetup returns the fabric configuration a protocol expects and a
@@ -233,6 +278,7 @@ func All() []Experiment {
 		{"fig7", "Figure 7: 32-host 10G testbed — dcPIM vs DCTCP vs Cubic", RunFig7},
 		{"fastpass", "§5 comparison: dcPIM vs Fastpass (centralized arbiter) short-flow latency", RunFastpass},
 		{"ablation", "dcPIM design ablations: FCT round on/off, token window sizing", RunAblation},
+		{"faults", "Fault resilience: FCT and completion vs fault intensity", RunFaults},
 	}
 }
 

@@ -1,0 +1,193 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dcpim/internal/netsim"
+	"dcpim/internal/sim"
+	"dcpim/internal/topo"
+)
+
+const sampleText = `
+# one of every kind
+linkdown  sw=1 port=2 at=100us dur=50us
+linkup    sw=1 port=2 at=200us
+degrade   sw=0 port=1 at=50us rate=0.01 dur=1ms
+burst     sw=0 port=3 at=10us dur=5us rate=0.5
+reboot    sw=2 at=1ms dur=100us drain=keep
+hostpause host=4 at=20us dur=10us
+`
+
+func TestParseSample(t *testing.T) {
+	s, err := ParseSchedule(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 6 {
+		t.Fatalf("parsed %d events, want 6", len(s.Events))
+	}
+	want := Event{Kind: LinkDown, Switch: 1, Port: 2,
+		At: sim.Time(100 * sim.Microsecond), Dur: 50 * sim.Microsecond}
+	if s.Events[0] != want {
+		t.Fatalf("event 0 = %+v, want %+v", s.Events[0], want)
+	}
+	if s.Events[4].Drain != DrainKeep {
+		t.Fatalf("reboot drain = %v, want keep", s.Events[4].Drain)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	s, err := ParseSchedule(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := s.Format()
+	s2, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatalf("canonical form did not reparse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatalf("round trip changed the schedule:\n%+v\n%+v", s, s2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"unknown kind", "explode sw=1 port=2 at=1us"},
+		{"missing key", "linkdown sw=1 at=1us"},
+		{"duplicate key", "linkup sw=1 sw=2 port=0 at=1us"},
+		{"inapplicable key", "linkup sw=1 port=0 at=1us rate=0.5"},
+		{"malformed field", "linkup sw=1 port at=1us"},
+		{"negative id", "linkup sw=-1 port=0 at=1us"},
+		{"bad unit", "linkup sw=1 port=0 at=1parsec"},
+		{"negative time", "linkup sw=1 port=0 at=-5us"},
+		{"huge time", "linkup sw=1 port=0 at=999999999999s"},
+		{"rate above one", "degrade sw=1 port=0 at=1us rate=1.5"},
+		{"rate NaN", "degrade sw=1 port=0 at=1us rate=NaN"},
+		{"zero rate", "degrade sw=1 port=0 at=1us rate=0"},
+		{"zero burst dur", "burst sw=1 port=0 at=1us dur=0us rate=0.5"},
+		{"bad drain", "reboot sw=1 at=1us dur=1us drain=maybe"},
+	}
+	for _, c := range cases {
+		if _, err := ParseSchedule(c.in); err == nil {
+			t.Errorf("%s: %q parsed without error", c.name, c.in)
+		}
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	tp := topo.SmallLeafSpine().Build() // 8 hosts, 4 switches
+	good, err := ParseSchedule("linkdown sw=3 port=0 at=1us\nhostpause host=7 at=1us dur=1us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := good.Validate(tp); err != nil {
+		t.Fatalf("in-range schedule rejected: %v", err)
+	}
+	bad := []string{
+		"linkdown sw=4 port=0 at=1us",  // switch out of range
+		"linkdown sw=0 port=99 at=1us", // port out of range
+		"reboot sw=9 at=1us dur=1us",
+		"hostpause host=8 at=1us dur=1us",
+	}
+	for _, text := range bad {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			t.Fatalf("%q: parse: %v", text, err)
+		}
+		if err := s.Validate(tp); err == nil {
+			t.Errorf("%q: validated against an 8-host topology", text)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	tp := topo.SmallLeafSpine().Build()
+	cfg := Intensity(3, 42, 500*sim.Microsecond)
+	a, b := Generate(cfg, tp), Generate(cfg, tp)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("intensity 3 generated no events")
+	}
+	if err := a.Validate(tp); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At < a.Events[i-1].At {
+			t.Fatal("generated schedule not sorted by time")
+		}
+	}
+	cfg.Seed = 43
+	if c := Generate(cfg, tp); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if n := len(Generate(Intensity(0, 1, sim.Millisecond), tp).Events); n != 0 {
+		t.Fatalf("intensity 0 generated %d events, want 0", n)
+	}
+}
+
+// TestInstallTiming installs a schedule on a real fabric and probes the
+// fault state before, during, and after each window.
+func TestInstallTiming(t *testing.T) {
+	tp := topo.SmallLeafSpine().Build()
+	eng := sim.NewEngine(1)
+	fab := netsim.New(eng, tp, netsim.Config{})
+	text := `
+linkdown sw=0 port=0 at=10us dur=20us
+linkdown sw=2 port=1 at=15us
+linkup   sw=2 port=1 at=40us
+reboot   sw=3 at=50us dur=10us
+hostpause host=5 at=70us dur=5us
+`
+	s, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	Install(eng, fab, s)
+
+	us := func(x int64) sim.Time { return sim.Time(x) * sim.Time(sim.Microsecond) }
+	expect := func(at sim.Time, fn func() bool, desc string) {
+		eng.Schedule(at, func() {
+			if !fn() {
+				t.Errorf("at %v: %s", at, desc)
+			}
+		})
+	}
+	// sw=0 port=0 is a ToR downlink: both the switch port and the peer
+	// host's NIC flap together.
+	expect(us(9), func() bool { return !fab.LinkDown(0, 0) && !fab.HostDown(0) }, "link up before flap")
+	expect(us(11), func() bool { return fab.LinkDown(0, 0) && fab.HostDown(0) }, "link down during flap")
+	expect(us(31), func() bool { return !fab.LinkDown(0, 0) && !fab.HostDown(0) }, "link restored after flap")
+	// sw=2 port=1 is a spine→leaf link: both directions down until linkup.
+	expect(us(20), func() bool { return fab.LinkDown(2, 1) && fab.LinkDown(1, 4) }, "core link down both directions")
+	expect(us(41), func() bool { return !fab.LinkDown(2, 1) && !fab.LinkDown(1, 4) }, "core link up both directions")
+	// Reboot downs every port of sw=3.
+	expect(us(55), func() bool { return fab.LinkDown(3, 0) && fab.LinkDown(3, 1) }, "rebooting switch ports down")
+	expect(us(61), func() bool { return !fab.LinkDown(3, 0) }, "switch restored")
+	expect(us(72), func() bool { return fab.HostDown(5) }, "host paused")
+	expect(us(76), func() bool { return !fab.HostDown(5) }, "host resumed")
+	eng.RunAll()
+}
+
+func TestFormatAllKindsParse(t *testing.T) {
+	// Every generated schedule must serialize and reparse.
+	tp := topo.SmallLeafSpine().Build()
+	s := Generate(Intensity(3, 7, sim.Millisecond), tp)
+	s2, err := ParseSchedule(s.Format())
+	if err != nil {
+		t.Fatalf("generated schedule did not reparse: %v\n%s", err, s.Format())
+	}
+	if !reflect.DeepEqual(s, s2) {
+		t.Fatal("generated schedule round trip mismatch")
+	}
+	if !strings.Contains(s.Format(), "reboot") {
+		t.Fatal("intensity 3 has no reboot")
+	}
+}

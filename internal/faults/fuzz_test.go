@@ -1,0 +1,73 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"dcpim/internal/topo"
+)
+
+// FuzzScheduleParse asserts the text parser never panics, never yields an
+// event violating the internal invariants (negative times or ids, rates
+// outside [0, 1]), never lets Validate pass an out-of-range link id, and
+// that the canonical Format of anything it accepts reparses to an equal
+// schedule.
+func FuzzScheduleParse(f *testing.F) {
+	seeds := []string{
+		sampleText,
+		"linkdown sw=1 port=2 at=100us",
+		"linkdown sw=1 port=2 at=100us dur=50us\nlinkup sw=1 port=2 at=1ms",
+		"degrade sw=0 port=1 at=50us rate=0.01",
+		"burst sw=0 port=3 at=10us dur=5us rate=0.5",
+		"reboot sw=2 at=1ms dur=100us drain=drop",
+		"hostpause host=4 at=20us dur=10us",
+		"# comment only\n\n",
+		"linkup sw=0 port=0 at=0ps",
+		"linkup sw=0 port=0 at=1.5us",
+		"linkup sw=0 port=0 at=9007199254740992ps",
+		"degrade sw=0 port=0 at=1us rate=1e-3",
+		"degrade sw=0 port=0 at=1us rate=0x1p-2",
+		"linkdown sw=1048576 port=0 at=1us",
+		"linkup sw=1 port=0 at=1parsec",
+		"reboot sw=1 at=1us dur=1us drain=keep extra=1",
+		"hostpause host=+4 at=2e3us dur=10us",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	tp := topo.SmallLeafSpine().Build()
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		for i := range s.Events {
+			ev := &s.Events[i]
+			if ev.At < 0 || ev.Dur < 0 {
+				t.Fatalf("event %d: negative time: %+v", i, ev)
+			}
+			if ev.Rate < 0 || ev.Rate > 1 || ev.Rate != ev.Rate {
+				t.Fatalf("event %d: rate out of range: %+v", i, ev)
+			}
+			if ev.Switch < 0 || ev.Port < 0 || ev.Host < 0 {
+				t.Fatalf("event %d: negative element id: %+v", i, ev)
+			}
+		}
+		if s.Validate(tp) == nil {
+			for i := range s.Events {
+				ev := &s.Events[i]
+				if ev.Switch >= len(tp.Switches) || ev.Host >= tp.NumHosts {
+					t.Fatalf("event %d: Validate passed an out-of-range id: %+v", i, ev)
+				}
+			}
+		}
+		canon := s.Format()
+		s2, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form did not reparse: %v\n%q", err, canon)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("canonical round trip changed the schedule:\nin:  %+v\nout: %+v", s, s2)
+		}
+	})
+}

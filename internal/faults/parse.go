@@ -1,0 +1,230 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"dcpim/internal/sim"
+)
+
+// Text format: one event per line, `kind key=value ...`. Blank lines and
+// `#` comments are ignored. Times take a unit suffix (ps, ns, us, ms, s);
+// the canonical form written by Format uses integer picoseconds so a
+// formatted schedule reparses exactly.
+//
+//	linkdown  sw=1 port=2 at=100us [dur=50us]
+//	linkup    sw=1 port=2 at=200us
+//	degrade   sw=1 port=2 at=50us rate=0.01 [dur=1ms]
+//	burst     sw=0 port=3 at=10us dur=5us rate=0.5
+//	reboot    sw=2 at=1ms dur=100us [drain=drop|keep]
+//	hostpause host=4 at=20us dur=10us
+
+// kindByName maps format keywords to kinds.
+var kindByName = map[string]Kind{
+	"linkdown": LinkDown, "linkup": LinkUp, "degrade": LinkDegrade,
+	"burst": LossBurst, "reboot": SwitchReboot, "hostpause": HostPause,
+}
+
+// maxElementID bounds parsed switch/port/host ids; real topologies are
+// orders of magnitude smaller, and the bound keeps hostile input from
+// smuggling huge ids past Validate-less callers.
+const maxElementID = 1 << 20
+
+// allowedKeys lists the keys each kind accepts; anything else is an
+// error, which keeps Format(Parse(x)) a lossless round trip.
+var allowedKeys = map[Kind]string{
+	LinkDown:     "sw port at dur",
+	LinkUp:       "sw port at",
+	LinkDegrade:  "sw port at rate dur",
+	LossBurst:    "sw port at dur rate",
+	SwitchReboot: "sw at dur drain",
+	HostPause:    "host at dur",
+}
+
+// ParseSchedule parses the text format. Every returned event satisfies
+// the internal invariants (non-negative times and ids, rates in [0, 1]);
+// topology bounds still require Schedule.Validate.
+func ParseSchedule(text string) (*Schedule, error) {
+	s := &Schedule{}
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		ev, err := parseEvent(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if err := ev.check(len(s.Events)); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s, nil
+}
+
+func parseEvent(fields []string) (Event, error) {
+	var ev Event
+	kind, ok := kindByName[fields[0]]
+	if !ok {
+		return ev, fmt.Errorf("unknown event kind %q", fields[0])
+	}
+	ev.Kind = kind
+	seen := map[string]bool{}
+	for _, kv := range fields[1:] {
+		eq := strings.IndexByte(kv, '=')
+		if eq <= 0 {
+			return ev, fmt.Errorf("malformed field %q (want key=value)", kv)
+		}
+		key, val := kv[:eq], kv[eq+1:]
+		if seen[key] {
+			return ev, fmt.Errorf("duplicate key %q", key)
+		}
+		if !strings.Contains(" "+allowedKeys[kind]+" ", " "+key+" ") {
+			return ev, fmt.Errorf("%s: key %q not applicable", kind, key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "sw":
+			ev.Switch, err = parseID(val)
+		case "port":
+			ev.Port, err = parseID(val)
+		case "host":
+			ev.Host, err = parseID(val)
+		case "at":
+			var d sim.Duration
+			d, err = parseDur(val)
+			ev.At = sim.Time(d)
+		case "dur":
+			ev.Dur, err = parseDur(val)
+		case "rate":
+			ev.Rate, err = parseRate(val)
+		case "drain":
+			switch val {
+			case "drop":
+				ev.Drain = DrainDrop
+			case "keep":
+				ev.Drain = DrainKeep
+			default:
+				err = fmt.Errorf("drain policy %q (want drop or keep)", val)
+			}
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return ev, err
+		}
+	}
+	// Required keys per kind; every kind needs a time.
+	need := func(keys ...string) error {
+		for _, k := range keys {
+			if !seen[k] {
+				return fmt.Errorf("%s: missing key %q", ev.Kind, k)
+			}
+		}
+		return nil
+	}
+	switch kind {
+	case LinkDown, LinkUp:
+		return ev, need("sw", "port", "at")
+	case LinkDegrade:
+		return ev, need("sw", "port", "at", "rate")
+	case LossBurst:
+		return ev, need("sw", "port", "at", "dur", "rate")
+	case SwitchReboot:
+		return ev, need("sw", "at", "dur")
+	default: // HostPause
+		return ev, need("host", "at", "dur")
+	}
+}
+
+func parseID(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("id %q: %v", v, err)
+	}
+	if n < 0 || n > maxElementID {
+		return 0, fmt.Errorf("id %d outside [0, %d]", n, maxElementID)
+	}
+	return n, nil
+}
+
+// durUnits scales a unit suffix to picoseconds.
+var durUnits = map[string]float64{
+	"ps": 1, "ns": 1e3, "us": 1e6, "µs": 1e6, "ms": 1e9, "s": 1e12,
+}
+
+// maxDurPs keeps scaled times inside the exactly-representable float64
+// integer range (2^53 ps ≈ 2.5 simulated hours, far beyond any run), so
+// the canonical integer-picosecond form round-trips losslessly.
+const maxDurPs = 1 << 53
+
+func parseDur(v string) (sim.Duration, error) {
+	i := 0
+	for i < len(v) && (v[i] == '.' || (v[i] >= '0' && v[i] <= '9')) {
+		i++
+	}
+	mant, unit := v[:i], v[i:]
+	scale, ok := durUnits[unit]
+	if !ok {
+		return 0, fmt.Errorf("time %q: unknown unit %q (want ps/ns/us/ms/s)", v, unit)
+	}
+	x, err := strconv.ParseFloat(mant, 64)
+	if err != nil {
+		return 0, fmt.Errorf("time %q: %v", v, err)
+	}
+	ps := x * scale
+	if math.IsNaN(ps) || ps < 0 || ps > maxDurPs {
+		return 0, fmt.Errorf("time %q outside [0, 1h]", v)
+	}
+	return sim.Duration(ps + 0.5), nil
+}
+
+func parseRate(v string) (float64, error) {
+	x, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("rate %q: %v", v, err)
+	}
+	if math.IsNaN(x) || x < 0 || x > 1 {
+		return 0, fmt.Errorf("rate %q outside [0, 1]", v)
+	}
+	return x, nil
+}
+
+// Format renders the schedule in the canonical text form: integer
+// picosecond times, one event per line, reparsing to an equal schedule.
+func (s *Schedule) Format() string {
+	var b strings.Builder
+	for i := range s.Events {
+		ev := &s.Events[i]
+		switch ev.Kind {
+		case LinkDown, LinkUp:
+			fmt.Fprintf(&b, "%s sw=%d port=%d at=%dps", ev.Kind, ev.Switch, ev.Port, int64(ev.At))
+			if ev.Kind == LinkDown && ev.Dur > 0 {
+				fmt.Fprintf(&b, " dur=%dps", int64(ev.Dur))
+			}
+		case LinkDegrade:
+			fmt.Fprintf(&b, "%s sw=%d port=%d at=%dps rate=%g", ev.Kind, ev.Switch, ev.Port, int64(ev.At), ev.Rate)
+			if ev.Dur > 0 {
+				fmt.Fprintf(&b, " dur=%dps", int64(ev.Dur))
+			}
+		case LossBurst:
+			fmt.Fprintf(&b, "%s sw=%d port=%d at=%dps dur=%dps rate=%g",
+				ev.Kind, ev.Switch, ev.Port, int64(ev.At), int64(ev.Dur), ev.Rate)
+		case SwitchReboot:
+			fmt.Fprintf(&b, "%s sw=%d at=%dps dur=%dps drain=%s",
+				ev.Kind, ev.Switch, int64(ev.At), int64(ev.Dur), ev.Drain)
+		case HostPause:
+			fmt.Fprintf(&b, "%s host=%d at=%dps dur=%dps",
+				ev.Kind, ev.Host, int64(ev.At), int64(ev.Dur))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package faults
+
+import (
+	"math/rand"
+
+	"dcpim/internal/sim"
+	"dcpim/internal/topo"
+)
+
+// GenConfig parameterizes Generate: how many faults of each type to place
+// on a topology, and how severe. The zero value yields an empty schedule;
+// the Intensity helper fills in the resilience-grid presets.
+type GenConfig struct {
+	Seed    int64
+	Horizon sim.Duration // faults start within [0.1, 0.6] of this
+
+	Flaps   int // LinkDown with auto-restore
+	FlapDur sim.Duration
+
+	Degrades    int // LinkDegrade healed after DegradeDur
+	DegradeRate float64
+	DegradeDur  sim.Duration
+
+	Bursts    int // LossBurst
+	BurstDur  sim.Duration
+	BurstRate float64
+
+	Reboots   int // SwitchReboot, buffers dropped
+	RebootDur sim.Duration
+
+	Pauses   int // HostPause
+	PauseDur sim.Duration
+}
+
+// Generate builds a random fault schedule from its own seeded source, so
+// the result depends only on (cfg, topology) — hermetic across runs and
+// across RunMany workers. Events are sorted by start time.
+func Generate(cfg GenConfig, t *topo.Topology) *Schedule {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Schedule{}
+	at := func() sim.Time {
+		lo := cfg.Horizon / 10
+		return sim.Time(lo + sim.Duration(rng.Int63n(int64(cfg.Horizon/2)+1)))
+	}
+	// pickLink returns a random (switch, port) transmit side.
+	pickLink := func() (int, int) {
+		sw := rng.Intn(len(t.Switches))
+		return sw, rng.Intn(len(t.Switches[sw].Ports))
+	}
+	for i := 0; i < cfg.Flaps; i++ {
+		sw, pt := pickLink()
+		s.Events = append(s.Events, Event{
+			Kind: LinkDown, At: at(), Dur: cfg.FlapDur, Switch: sw, Port: pt,
+		})
+	}
+	for i := 0; i < cfg.Degrades; i++ {
+		sw, pt := pickLink()
+		s.Events = append(s.Events, Event{
+			Kind: LinkDegrade, At: at(), Dur: cfg.DegradeDur,
+			Switch: sw, Port: pt, Rate: cfg.DegradeRate,
+		})
+	}
+	for i := 0; i < cfg.Bursts; i++ {
+		sw, pt := pickLink()
+		s.Events = append(s.Events, Event{
+			Kind: LossBurst, At: at(), Dur: cfg.BurstDur,
+			Switch: sw, Port: pt, Rate: cfg.BurstRate,
+		})
+	}
+	for i := 0; i < cfg.Reboots; i++ {
+		s.Events = append(s.Events, Event{
+			Kind: SwitchReboot, At: at(), Dur: cfg.RebootDur,
+			Switch: rng.Intn(len(t.Switches)), Drain: DrainDrop,
+		})
+	}
+	for i := 0; i < cfg.Pauses; i++ {
+		s.Events = append(s.Events, Event{
+			Kind: HostPause, At: at(), Dur: cfg.PauseDur,
+			Host: rng.Intn(t.NumHosts),
+		})
+	}
+	s.Sort()
+	return s
+}
+
+// Intensity returns the resilience-grid presets used by the `-run faults`
+// experiment: level 0 is fault-free, and each level up adds harsher
+// structured failures (flaps → bursts and degrades → a ToR reboot plus
+// host pauses). Durations scale with the horizon so a scaled-down smoke
+// run still exercises every event.
+func Intensity(level int, seed int64, horizon sim.Duration) GenConfig {
+	cfg := GenConfig{
+		Seed:        seed,
+		Horizon:     horizon,
+		FlapDur:     horizon / 20,
+		DegradeRate: 0.02,
+		DegradeDur:  horizon / 4,
+		BurstDur:    horizon / 50,
+		BurstRate:   0.5,
+		RebootDur:   horizon / 20,
+		PauseDur:    horizon / 30,
+	}
+	if level >= 1 {
+		cfg.Flaps = 2
+	}
+	if level >= 2 {
+		cfg.Bursts = 2
+		cfg.Degrades = 2
+	}
+	if level >= 3 {
+		cfg.Flaps = 4
+		cfg.Reboots = 1
+		cfg.Pauses = 2
+	}
+	return cfg
+}

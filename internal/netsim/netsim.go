@@ -53,23 +53,36 @@ type Config struct {
 	// enqueue with this probability — failure injection for protocol
 	// robustness tests. 0 disables.
 	RandomLossRate float64
+	// Audit enables the packet-conservation auditor (see EnableAudit).
+	Audit bool
 }
 
 // DefaultPortBuffer is the paper's per-port buffer (Table 1).
 const DefaultPortBuffer = 500 << 10
 
-// Counters aggregates fabric-wide dataplane statistics.
+// Counters aggregates fabric-wide dataplane statistics. The five drop
+// counters are disjoint — every dropped packet increments exactly one of
+// them — so they sum to the total loss (the conservation equation the
+// auditor checks). Trims and ECNMarks are not drops: a trimmed or marked
+// packet is still delivered.
 type Counters struct {
-	DataDrops      int64
-	CtrlDrops      int64
+	DataDrops      int64 // data lost to drop-tail or random loss at switch ports
+	CtrlDrops      int64 // control lost to drop-tail or random loss at switch ports
 	Trims          int64
-	AeolusDrops    int64
+	AeolusDrops    int64 // unscheduled data selectively dropped (Aeolus)
 	ECNMarks       int64
 	PFCPauses      int64
 	PFCResumes     int64
 	DeliveredData  int64 // data packets handed to destination protocols
-	DeliveredBytes int64 // wire bytes of those packets
+	DeliveredCtrl  int64 // control packets handed to destination protocols
+	DeliveredBytes int64 // wire bytes of delivered data packets
 	HostDrops      int64 // NIC egress overflow (bounded host queues only)
+	FaultDrops     int64 // injected faults: degraded links, loss bursts, reboot drains, dark switches
+}
+
+// TotalDrops sums the disjoint drop counters.
+func (c *Counters) TotalDrops() int64 {
+	return c.DataDrops + c.CtrlDrops + c.AeolusDrops + c.HostDrops + c.FaultDrops
 }
 
 // Protocol is a transport running on one host. The fabric calls Start once
@@ -92,6 +105,10 @@ type Fabric struct {
 	switches []*swDev
 
 	Counters Counters
+
+	// audit, when non-nil, tracks every packet the fabric owns and flags
+	// leaks, double-frees, and counter mismatches (see EnableAudit).
+	audit *auditor
 
 	// DeliverHook, when set, observes every packet delivered to a
 	// destination protocol (after host stack delay). Experiments use it
@@ -123,6 +140,9 @@ func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Fabric {
 		}
 	}
 	f := &Fabric{eng: eng, topo: t, cfg: cfg}
+	if cfg.Audit {
+		f.EnableAudit()
+	}
 
 	f.switches = make([]*swDev, len(t.Switches))
 	for i, sw := range t.Switches {
@@ -218,6 +238,9 @@ func (h *Host) Send(p *packet.Packet) {
 		panic("netsim: packet Src does not match sending host")
 	}
 	p.SentAt = h.fab.eng.Now()
+	if h.fab.audit != nil {
+		h.fab.audit.inject(p)
+	}
 	h.fab.eng.AfterFunc(h.fab.topo.HostDelay, hostEnqueue, h, p, 0)
 }
 
@@ -236,9 +259,14 @@ func (h *Host) deliver(p *packet.Packet) {
 func hostDeliver(a, b any, _ int) {
 	h := a.(*Host)
 	p := b.(*packet.Packet)
+	if h.fab.audit != nil {
+		h.fab.audit.deliver(p)
+	}
 	if p.Kind == packet.Data {
 		h.fab.Counters.DeliveredData++
 		h.fab.Counters.DeliveredBytes += int64(p.Size)
+	} else {
+		h.fab.Counters.DeliveredCtrl++
 	}
 	if h.fab.DeliverHook != nil {
 		h.fab.DeliverHook(h.id, p)
@@ -252,6 +280,10 @@ type swDev struct {
 	fab   *Fabric
 	spec  *topo.Switch
 	ports []*outPort
+
+	// down marks a rebooting switch: arrivals are discarded (FaultDrops)
+	// until RestoreSwitch brings the forwarding plane back.
+	down bool
 
 	// ingressBytes tracks, per ingress port, bytes currently buffered in
 	// this switch that arrived through that port (PFC accounting). Index
@@ -275,6 +307,11 @@ func swForward(a, b any, in int) {
 func (d *swDev) forward(p *packet.Packet, in int) {
 	if p.Dst < 0 || p.Dst >= d.fab.topo.NumHosts {
 		panic("netsim: packet to unknown host")
+	}
+	if d.down {
+		d.fab.Counters.FaultDrops++
+		d.fab.dropped(p)
+		return
 	}
 	cands := d.spec.Routes[p.Dst]
 	var pi int32

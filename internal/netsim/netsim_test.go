@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"strings"
 	"testing"
 
 	"dcpim/internal/packet"
@@ -34,6 +35,14 @@ func buildFabric(t *testing.T, cfgTopo topo.LeafSpineConfig, cfg Config) (*Fabri
 	eng := sim.NewEngine(1)
 	tp := cfgTopo.Build()
 	f := New(eng, tp, cfg)
+	// Every fabric test runs under the conservation auditor; the check
+	// fires after the test body, when the engine has drained.
+	f.EnableAudit()
+	t.Cleanup(func() {
+		if errs := f.AuditVerify(); len(errs) != 0 {
+			t.Errorf("packet conservation audit failed:\n%s", strings.Join(errs, "\n"))
+		}
+	})
 	sinks := make([]*sink, tp.NumHosts)
 	for i := range sinks {
 		sinks[i] = &sink{}

@@ -34,11 +34,40 @@ type outPort struct {
 	txBytes     int64 // cumulative bytes transmitted (INT)
 	busy        bool
 	paused      bool
+
+	// Injected fault state (see Fabric's fault-control methods). down
+	// halts the transmitter like a PFC pause but is independent of it;
+	// lossRate is a persistent degraded-link drop probability; burstRate
+	// applies instead while the clock is before burstUntil.
+	down       bool
+	lossRate   float64
+	burstRate  float64
+	burstUntil sim.Time
+}
+
+// faultDrop applies injected link faults (degrade / loss burst) at enqueue
+// time and reports whether the packet was consumed. Faulty links draw from
+// the engine's seeded Rand, so runs stay deterministic; clean links draw
+// nothing.
+func (o *outPort) faultDrop(p *packet.Packet) bool {
+	r := o.lossRate
+	if o.burstRate > r && o.fab.eng.Now() < o.burstUntil {
+		r = o.burstRate
+	}
+	if r <= 0 || o.fab.eng.Rand().Float64() >= r {
+		return false
+	}
+	o.fab.Counters.FaultDrops++
+	o.fab.dropped(p)
+	return true
 }
 
 // enqueue is the host-NIC entry point: plain drop-tail, no dataplane
 // features (a host never trims or marks its own packets).
 func (o *outPort) enqueue(p *packet.Packet) {
+	if o.faultDrop(p) {
+		return
+	}
 	if o.queuedBytes+int64(p.Size) > o.capacity {
 		o.fab.Counters.HostDrops++
 		o.fab.dropped(p)
@@ -52,6 +81,9 @@ func (o *outPort) enqueue(p *packet.Packet) {
 // accounting for the ingress the packet came through.
 func (o *outPort) enqueueAt(p *packet.Packet, sw *swDev, in int) {
 	cfg := &o.fab.cfg
+	if o.faultDrop(p) {
+		return
+	}
 	if cfg.RandomLossRate > 0 && o.fab.eng.Rand().Float64() < cfg.RandomLossRate {
 		if p.Kind == packet.Data {
 			o.fab.Counters.DataDrops++
@@ -66,7 +98,6 @@ func (o *outPort) enqueueAt(p *packet.Packet, sw *swDev, in int) {
 	if isData && p.Unsched && cfg.AeolusThresholdBytes > 0 &&
 		o.queuedBytes >= cfg.AeolusThresholdBytes {
 		o.fab.Counters.AeolusDrops++
-		o.fab.Counters.DataDrops++
 		o.fab.dropped(p)
 		return
 	}
@@ -147,10 +178,10 @@ func (o *outPort) pop() (queued, bool) {
 	return queued{}, false
 }
 
-// tryTransmit starts serializing the next packet if the port is idle and
-// not PFC-paused.
+// tryTransmit starts serializing the next packet if the port is idle, not
+// PFC-paused, and the link is not administratively down.
 func (o *outPort) tryTransmit() {
-	if o.busy || o.paused {
+	if o.busy || o.paused || o.down {
 		return
 	}
 	el, ok := o.pop()
@@ -256,6 +287,9 @@ func (d *swDev) signalUpstream(in int, pause bool) {
 // dropped routes a drop to the DropHook, if any, then recycles the
 // packet — the fabric's second release point (the first is delivery).
 func (f *Fabric) dropped(p *packet.Packet) {
+	if f.audit != nil {
+		f.audit.drop(p)
+	}
 	if f.DropHook != nil {
 		f.DropHook(p)
 	}

@@ -164,6 +164,17 @@ func (e *Engine) AfterFunc(d Duration, fn func(a, b any, i int), a, b any, i int
 	return Timer{ev: t, gen: t.gen}
 }
 
+// ScheduleFunc runs fn(a, b, i) at absolute time at — the argument-form
+// counterpart of Schedule, used by timeline installers (fault schedules)
+// that place many events at pre-computed absolute times without building
+// a closure per event.
+func (e *Engine) ScheduleFunc(at Time, fn func(a, b any, i int), a, b any, i int) Timer {
+	t := e.push(at)
+	t.fnArgs = fn
+	t.a, t.b, t.i = a, b, i
+	return Timer{ev: t, gen: t.gen}
+}
+
 // Step executes the next pending event, if any, and reports whether one
 // ran. The event is recycled before its callback runs, so the callback may
 // immediately reuse the storage by scheduling new events; its own handle

@@ -222,6 +222,46 @@ func TestAfterFunc(t *testing.T) {
 	}
 }
 
+func TestScheduleFunc(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	rec := func(_, _ any, i int) { order = append(order, i) }
+	// Absolute times, deliberately scheduled out of order; same-time events
+	// keep scheduling order (FIFO tie-break), like Schedule.
+	e.ScheduleFunc(30, rec, nil, nil, 3)
+	e.ScheduleFunc(10, rec, nil, nil, 1)
+	e.ScheduleFunc(30, rec, nil, nil, 4)
+	tm := e.ScheduleFunc(20, rec, nil, nil, 2)
+	if !tm.Active() || tm.At() != 20 {
+		t.Fatalf("timer at %v active=%v, want 20/true", tm.At(), tm.Active())
+	}
+	e.RunAll()
+	want := []int{1, 2, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestScheduleFuncPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(50, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleFunc in the past did not panic")
+		}
+	}()
+	e.ScheduleFunc(10, func(_, _ any, _ int) {}, nil, nil, 0)
+}
+
 func TestEngineRunHorizon(t *testing.T) {
 	e := NewEngine(1)
 	var got []Time

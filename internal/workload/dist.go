@@ -44,7 +44,9 @@ func NewEmpirical(name string, points []CDFPoint) (*EmpiricalDist, error) {
 		return nil, fmt.Errorf("workload %s: need ≥2 CDF points", name)
 	}
 	for i, p := range points {
-		if p.Bytes < 1 || p.Prob < 0 || p.Prob > 1 {
+		// The negated form rejects NaN probabilities, which pass every
+		// direct comparison.
+		if p.Bytes < 1 || !(p.Prob >= 0 && p.Prob <= 1) {
 			return nil, fmt.Errorf("workload %s: bad point %+v", name, p)
 		}
 		if i > 0 && (p.Bytes <= points[i-1].Bytes || p.Prob <= points[i-1].Prob) {
@@ -108,10 +110,13 @@ func (d *EmpiricalDist) computeMean() float64 {
 		a := math.Log(float64(pts[i-1].Bytes))
 		b := math.Log(float64(pts[i].Bytes)) - a
 		var seg float64
-		if b < 1e-12 {
+		if b == 0 {
 			seg = float64(pts[i].Bytes)
 		} else {
-			seg = (math.Exp(a+b) - math.Exp(a)) / b
+			// e^a·(e^b−1)/b via Expm1: the direct difference of
+			// exponentials cancels catastrophically when the knots are
+			// close in log-space.
+			seg = math.Exp(a) * math.Expm1(b) / b
 		}
 		mean += seg * p
 	}
@@ -197,11 +202,15 @@ type TruncatedDist struct {
 	Max  int64
 }
 
-// Sample draws from Base and clamps.
+// Sample draws from Base and clamps, keeping the SizeDist contract of
+// ≥ 1 byte even for a nonsensical Max.
 func (d TruncatedDist) Sample(rng *rand.Rand) int64 {
 	s := d.Base.Sample(rng)
 	if s > d.Max {
-		return d.Max
+		s = d.Max
+	}
+	if s < 1 {
+		s = 1
 	}
 	return s
 }

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// decodePoints turns fuzzer bytes into a candidate CDF knot list: 10
+// bytes per point — 8 for the size (raw int64, so negatives and zeros
+// exercise validation) and 2 for the probability in 1/65535 steps, with
+// a leading flag byte that optionally pins the last probability to 1 so
+// the fuzzer reaches the post-validation sampling paths easily.
+func decodePoints(raw []byte) []CDFPoint {
+	if len(raw) == 0 {
+		return nil
+	}
+	pin := raw[0]&1 == 1
+	raw = raw[1:]
+	var pts []CDFPoint
+	for len(raw) >= 10 && len(pts) < 64 {
+		size := int64(binary.LittleEndian.Uint64(raw[:8]))
+		prob := float64(binary.LittleEndian.Uint16(raw[8:10])) / 65535
+		raw = raw[10:]
+		pts = append(pts, CDFPoint{Bytes: size, Prob: prob})
+	}
+	if pin && len(pts) > 0 {
+		pts[len(pts)-1].Prob = 1
+	}
+	return pts
+}
+
+// FuzzDistSample asserts that empirical CDF construction never panics on
+// arbitrary knots, and that every accepted distribution samples within
+// its support (≥ 1 byte, never negative) with a finite positive mean —
+// including under truncation with hostile caps.
+func FuzzDistSample(f *testing.F) {
+	// Seed corpus: valid two-point and multi-point CDFs, plus shapes that
+	// must be rejected (non-increasing, probability > 1 impossible here,
+	// zero/negative sizes).
+	valid := func(pairs ...CDFPoint) []byte {
+		b := []byte{1}
+		for _, p := range pairs {
+			var sz [8]byte
+			binary.LittleEndian.PutUint64(sz[:], uint64(p.Bytes))
+			b = append(b, sz[:]...)
+			var pr [2]byte
+			binary.LittleEndian.PutUint16(pr[:], uint16(p.Prob*65535))
+			b = append(b, pr[:]...)
+		}
+		return b
+	}
+	f.Add(int64(1), valid(CDFPoint{1436, 0.5}, CDFPoint{14360, 1}))
+	f.Add(int64(2), valid(CDFPoint{100, 0.1}, CDFPoint{1000, 0.6}, CDFPoint{1 << 30, 1}))
+	f.Add(int64(3), valid(CDFPoint{5000, 0.9}, CDFPoint{200, 1}))       // non-increasing size
+	f.Add(int64(4), valid(CDFPoint{0, 0.5}, CDFPoint{10, 1}))          // zero size
+	f.Add(int64(5), valid(CDFPoint{-44, 0.5}, CDFPoint{10, 1}))        // negative size
+	f.Add(int64(6), valid(CDFPoint{10, 0.5}, CDFPoint{20, 0.5}))       // flat prob, no 1
+	f.Add(int64(7), []byte{0, 1, 2, 3})                                // short tail
+	f.Add(int64(8), valid(CDFPoint{math.MaxInt64 - 1, 0.5}, CDFPoint{math.MaxInt64, 1}))
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		pts := decodePoints(raw)
+		d, err := NewEmpirical("fuzz", pts)
+		if err == nil {
+			checkDist(t, d, pts[0].Bytes, pts[len(pts)-1].Bytes, seed)
+			// Truncation must hold the ≥1-byte contract even for caps the
+			// fuzzer makes zero or negative.
+			cap := pts[0].Bytes/2 - 1
+			td := TruncatedDist{Base: d, Max: cap}
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 16; i++ {
+				if s := td.Sample(rng); s < 1 {
+					t.Fatalf("truncated sample %d < 1 (cap %d)", s, cap)
+				}
+			}
+		}
+		// The built-ins must accept any seed.
+		rng := rand.New(rand.NewSource(seed))
+		for _, b := range []SizeDist{IMC10(), WebSearch(), DataMining()} {
+			if s := b.Sample(rng); s < 1 {
+				t.Fatalf("%s sampled %d", b.Name(), s)
+			}
+		}
+	})
+}
+
+func checkDist(t *testing.T, d *EmpiricalDist, lo, hi int64, seed int64) {
+	t.Helper()
+	m := d.Mean()
+	// One part in 1e9 of slack covers float rounding in the log-space
+	// integration and in the int64→float64 conversion of huge sizes.
+	if math.IsNaN(m) || m < 1 || m > float64(hi)*(1+1e-9) {
+		t.Fatalf("mean %v outside [1, %d]", m, hi)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 64; i++ {
+		s := d.Sample(rng)
+		if s < 1 {
+			t.Fatalf("sample %d < 1", s)
+		}
+		if s < lo || s > hi {
+			t.Fatalf("sample %d outside support [%d, %d]", s, lo, hi)
+		}
+	}
+}
