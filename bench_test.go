@@ -179,6 +179,42 @@ func TestForwardingAllocs(t *testing.T) {
 	}
 }
 
+// TestMetricsDisabledAllocs pins the telemetry layer's zero-cost-off
+// guarantee: with no metrics registry (fab.RegisterMetrics(nil) and nil
+// instruments everywhere), the observer fan-out and nil-safe instrument
+// calls must leave the forwarding hot path at its 0-alloc budget.
+func TestMetricsDisabledAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector makes sync.Pool drop items; alloc counts unstable")
+	}
+	eng := sim.NewEngine(1)
+	tp := topo.SmallLeafSpine().Build()
+	fab := netsim.New(eng, tp, netsim.Config{Spray: true})
+	fab.RegisterMetrics(nil) // disabled telemetry: must register nothing
+	for i := 0; i < tp.NumHosts; i++ {
+		fab.AttachProtocol(i, nopProto{})
+	}
+	fab.Start()
+	seq := 0
+	batch := func() {
+		for i := 0; i < 64; i++ {
+			src := seq % 8
+			dst := (seq + 1) % 8
+			fab.Host(src).Send(packet.NewData(src, dst, uint64(seq), 0, packet.MTU, packet.PrioShort))
+			seq++
+		}
+		eng.RunAll()
+	}
+	for i := 0; i < 16; i++ {
+		batch()
+	}
+	perBatch := testing.AllocsPerRun(50, batch)
+	if perPacket := perBatch / 64; perPacket > 1.0/16 {
+		t.Fatalf("disabled metrics allocate %.3f allocs/packet (%.1f per 64-packet batch), want ~0",
+			perPacket, perBatch)
+	}
+}
+
 // BenchmarkDcPIMEndToEnd measures full dcPIM simulation cost: simulated
 // microseconds per wall second on an 8-host fabric at load 0.6.
 func BenchmarkDcPIMEndToEnd(b *testing.B) {

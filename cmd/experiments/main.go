@@ -11,6 +11,7 @@
 //	experiments -run fig5cd -hosts 16     # scaled-down topology
 //	experiments -run fig3a -parallel 8    # sweep probes on 8 workers
 //	experiments -run faults               # scripted link/switch/host faults
+//	experiments -run fig3a -metrics out/  # per-run CSV series + JSON reports
 //	experiments -run fig3b -cpuprofile cpu.pprof
 package main
 
@@ -35,6 +36,7 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "concurrent simulations in sweeps (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		metricsDir = flag.String("metrics", "", "write per-run telemetry (CSV time series + JSON report) into this directory")
 	)
 	flag.Parse()
 
@@ -63,7 +65,17 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := experiments.Options{Seed: *seed, Scale: *scale, Hosts: *hosts, Workers: *parallel}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	opts := experiments.Options{
+		Seed: *seed, Scale: *scale, Hosts: *hosts, Workers: *parallel,
+		MetricsDir: *metricsDir,
+	}
 	var todo []experiments.Experiment
 	if *run == "all" {
 		todo = experiments.All()

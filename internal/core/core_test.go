@@ -128,14 +128,14 @@ func TestMediumFlowMatchesBeforeSending(t *testing.T) {
 	// may carry the short-flow priority.
 	h := newHarness(topo.SmallLeafSpine(), DefaultConfig(), 3)
 	var shortPrio, dataPkts int
-	h.fab.DeliverHook = func(host int, p *packet.Packet) {
+	h.fab.AddObserver(netsim.ObserverFuncs{Delivered: func(host int, p *packet.Packet) {
 		if p.Kind == packet.Data {
 			dataPkts++
 			if p.Priority == packet.PrioShort {
 				shortPrio++
 			}
 		}
-	}
+	}})
 	tr := &workload.Trace{Flows: []workload.Flow{
 		{ID: 1, Src: 0, Dst: 7, Size: 100_000, Arrival: sim.Time(5 * sim.Microsecond)},
 	}}
@@ -152,11 +152,11 @@ func TestShortFlowBypassesMatching(t *testing.T) {
 	// A 10 KB flow must be delivered entirely at the short-flow priority.
 	h := newHarness(topo.SmallLeafSpine(), DefaultConfig(), 4)
 	var wrongPrio int
-	h.fab.DeliverHook = func(host int, p *packet.Packet) {
+	h.fab.AddObserver(netsim.ObserverFuncs{Delivered: func(host int, p *packet.Packet) {
 		if p.Kind == packet.Data && p.Priority != packet.PrioShort {
 			wrongPrio++
 		}
-	}
+	}})
 	tr := &workload.Trace{Flows: []workload.Flow{
 		{ID: 1, Src: 1, Dst: 6, Size: 10_000, Arrival: 0},
 	}}
@@ -338,11 +338,11 @@ func TestNotificationLossRecovered(t *testing.T) {
 	h := newHarness(topo.SmallLeafSpine(), DefaultConfig(), 14)
 	p := h.protos[0]
 	sent := 0
-	h.fab.DeliverHook = func(host int, pkt *packet.Packet) {
+	h.fab.AddObserver(netsim.ObserverFuncs{Delivered: func(host int, pkt *packet.Packet) {
 		if pkt.Kind == packet.Notification {
 			sent++
 		}
-	}
+	}})
 	// Bypass the fabric's flow injection and cut the ack path by pointing
 	// the flow at a host, then counting notification deliveries.
 	p.OnFlowArrival(workload.Flow{ID: 99, Src: 0, Dst: 7, Size: 500_000, Arrival: 0})

@@ -14,6 +14,7 @@ type Proto struct {
 	cfg Config
 	tm  timing
 	col *stats.Collector
+	ins instruments // optional telemetry (RegisterMetrics); zero value is inert
 
 	host *netsim.Host
 	eng  *sim.Engine

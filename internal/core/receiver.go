@@ -97,8 +97,9 @@ type receiver struct {
 	matchedNext map[int]int
 
 	// Current data phase.
-	matchedNow map[int]int
-	loops      map[int]*tokenLoop
+	matchedNow   map[int]int
+	loops        map[int]*tokenLoop
+	matchedTotal int // channels in matchedNow (telemetry bookkeeping)
 }
 
 func (r *receiver) init(p *Proto) {
@@ -178,6 +179,7 @@ func (r *receiver) onData(d *packet.Packet) {
 	}
 	if f.state[d.Seq] == seqTokened {
 		f.outstanding--
+		r.p.ins.tokensOutstanding.Add(-1)
 	} else {
 		f.untokenedCnt--
 	}
@@ -234,6 +236,8 @@ func (r *receiver) onEpochStart(e int64) {
 			f.state[tr.seq] = seqUntokened
 			f.untokenedCnt++
 			f.outstanding--
+			r.p.ins.tokensReverted.Inc()
+			r.p.ins.tokensOutstanding.Add(-1)
 			f.retx = append(f.retx, tr.seq)
 		}
 	}
@@ -243,6 +247,12 @@ func (r *receiver) onEpochStart(e int64) {
 	}
 	r.matchedNow = r.matchedNext
 	r.matchedNext = make(map[int]int)
+	total := 0
+	for _, ch := range r.matchedNow {
+		total += ch // int sum: map order cannot affect the result
+	}
+	r.p.ins.matchedChannels.Add(int64(total - r.matchedTotal))
+	r.matchedTotal = total
 	r.loops = make(map[int]*tokenLoop, len(r.matchedNow))
 	for _, src := range sortedKeys(r.matchedNow) {
 		ch := r.matchedNow[src]
@@ -311,6 +321,8 @@ func (r *receiver) issueToken(l *tokenLoop, f *recvFlow, seq int) {
 	f.state[seq] = seqTokened
 	f.untokenedCnt--
 	f.outstanding++
+	r.p.ins.tokensIssued.Inc()
+	r.p.ins.tokensOutstanding.Add(1)
 	f.tokened = append(f.tokened, tokenRef{seq: seq, epoch: l.epoch})
 
 	tok := packet.NewControl(packet.Token, r.p.id, f.src, f.id)
@@ -454,6 +466,7 @@ func (r *receiver) acceptStage(epoch int64, round int) {
 		acc.Round = round
 		acc.Epoch = epoch
 		r.p.send(acc)
+		r.p.ins.roundAccept(round, take)
 		r.used += take
 		free -= take
 		r.matchedNext[g.Src] += take

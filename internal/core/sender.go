@@ -121,6 +121,14 @@ func (s *sender) transmitData(f *sendFlow, seq int, prio uint8) {
 	if f.short {
 		d.Unsched = true // eligible for Aeolus-style selective drop
 	}
+	// The short-flow blast is the unscheduled bypass; token-admitted data
+	// (including short-flow recovery, re-admitted at data priorities) is
+	// scheduled.
+	if prio == packet.PrioShort {
+		s.p.ins.unschedBytes.Add(int64(d.Size))
+	} else {
+		s.p.ins.schedBytes.Add(int64(d.Size))
+	}
 	if !f.sent[seq] {
 		f.sent[seq] = true
 		f.sentCnt++

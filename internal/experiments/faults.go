@@ -49,7 +49,9 @@ func RunFaults(o Options, w io.Writer) error {
 	var specs []RunSpec
 	for _, level := range levels {
 		for _, proto := range Comparators {
-			specs = append(specs, faultSpec(o, proto, level, horizon))
+			spec := faultSpec(o, proto, level, horizon)
+			spec.Metrics = o.metrics(fmt.Sprintf("faults-level%d-%s", level, proto))
+			specs = append(specs, spec)
 		}
 	}
 	results := RunMany(specs, o.workers())

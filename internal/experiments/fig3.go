@@ -60,7 +60,9 @@ func RunFig3a(o Options, w io.Writer) error {
 	for ss[0].hi-ss[0].lo > 0.03 {
 		specs := make([]RunSpec, len(Comparators))
 		for i, proto := range Comparators {
-			specs[i] = loadSpec(o, proto, dist, (ss[i].lo+ss[i].hi)/2, horizon)
+			load := (ss[i].lo + ss[i].hi) / 2
+			specs[i] = loadSpec(o, proto, dist, load, horizon)
+			specs[i].Metrics = o.metrics(fmt.Sprintf("fig3a-%s-load%.3f", proto, load))
 		}
 		for i, res := range RunMany(specs, o.workers()) {
 			s := &ss[i]
@@ -104,7 +106,9 @@ func RunFig3b(o Options, w io.Writer) error {
 	var specs []RunSpec
 	for _, dist := range dists {
 		for _, proto := range Comparators {
-			specs = append(specs, loadSpec(o, proto, dist, 0.6, horizon))
+			spec := loadSpec(o, proto, dist, 0.6, horizon)
+			spec.Metrics = o.metrics(fmt.Sprintf("fig3b-%s-%s", dist.Name(), proto))
+			specs = append(specs, spec)
 		}
 	}
 	results := RunMany(specs, o.workers())

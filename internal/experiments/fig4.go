@@ -71,6 +71,7 @@ func RunFig4a(o Options, w io.Writer) error {
 		res := Run(RunSpec{
 			Protocol: proto, Topo: tp, Trace: trace,
 			Horizon: horizon, Seed: o.Seed + 9, BinWidth: 50 * sim.Microsecond,
+			Metrics: o.metrics("fig4a-" + proto),
 		})
 		// Normalize by the 16 loaded receiver downlinks, not all hosts.
 		series := res.Col.UtilizationSeries(hpr, tp.HostRate)

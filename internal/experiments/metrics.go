@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dcpim/internal/metrics"
+	"dcpim/internal/sim"
+)
+
+// MetricsSpec enables the telemetry layer for one run: a per-run
+// metrics.Registry is created, the fabric and protocol register their
+// instruments on it, and a Sampler snapshots them on a simulation-clock
+// cadence. The sampled series lands in RunResult.MetricsCSV and the
+// end-of-run report in RunResult.MetricsJSON; when Dir is non-empty both
+// are also written to <Dir>/<label>.csv and <Dir>/<label>.json.
+type MetricsSpec struct {
+	// Interval is the sampling cadence (0 = Horizon/256).
+	Interval sim.Duration
+	// Dir, when non-empty, receives the CSV series and JSON report.
+	Dir string
+	// Label names the output files (sanitized to [A-Za-z0-9._-]);
+	// empty defaults to "<protocol>-seed<seed>".
+	Label string
+}
+
+// RunReport is the JSON run-report schema emitted next to the CSV series:
+// identifying fields plus the final value of every instrument, each list
+// sorted by instrument name.
+type RunReport struct {
+	Label      string                     `json:"label"`
+	Protocol   string                     `json:"protocol"`
+	Seed       int64                      `json:"seed"`
+	HorizonPs  int64                      `json:"horizon_ps"`
+	IntervalPs int64                      `json:"interval_ps"`
+	Samples    int                        `json:"samples"`
+	Counters   []metrics.NameValue        `json:"counters"`
+	Gauges     []metrics.NameValue        `json:"gauges"`
+	Histograms []metrics.HistogramSummary `json:"histograms"`
+}
+
+// sampleInterval resolves the cadence for a run.
+func (m *MetricsSpec) sampleInterval(horizon sim.Duration) sim.Duration {
+	iv := m.Interval
+	if iv <= 0 {
+		iv = horizon / 256
+	}
+	if iv <= 0 {
+		iv = sim.Microsecond
+	}
+	return iv
+}
+
+// label resolves the output-file stem.
+func (m *MetricsSpec) label(spec RunSpec) string {
+	l := m.Label
+	if l == "" {
+		l = fmt.Sprintf("%s-seed%d", spec.Protocol, spec.Seed)
+	}
+	return sanitizeLabel(l)
+}
+
+// sanitizeLabel maps anything outside [A-Za-z0-9._-] to '-' so labels are
+// always safe file stems.
+func sanitizeLabel(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}
+
+// emitMetrics serializes the run's telemetry into CSV + JSON bytes and,
+// when spec.Metrics.Dir is set, writes them to disk. Serialization is
+// deterministic: columns sort by name, times are integer picoseconds, and
+// JSON field order is fixed by the RunReport struct. File-system failures
+// panic — the output directory is caller-provided configuration.
+func emitMetrics(spec RunSpec, reg *metrics.Registry, smp *metrics.Sampler) (csvB, jsonB []byte) {
+	var buf bytes.Buffer
+	if err := smp.WriteCSV(&buf); err != nil {
+		panic(fmt.Sprintf("experiments: metrics CSV: %v", err))
+	}
+	csvB = append([]byte(nil), buf.Bytes()...)
+
+	rep := RunReport{
+		Label:      spec.Metrics.label(spec),
+		Protocol:   spec.Protocol,
+		Seed:       spec.Seed,
+		HorizonPs:  int64(spec.Horizon),
+		IntervalPs: int64(smp.Interval()),
+		Samples:    smp.Len(),
+		Counters:   reg.CounterValues(),
+		Gauges:     reg.GaugeValues(),
+		Histograms: reg.HistogramSummaries(),
+	}
+	var err error
+	jsonB, err = json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("experiments: metrics JSON: %v", err))
+	}
+	jsonB = append(jsonB, '\n')
+
+	if dir := spec.Metrics.Dir; dir != "" {
+		stem := filepath.Join(dir, rep.Label)
+		if err := os.WriteFile(stem+".csv", csvB, 0o644); err != nil {
+			panic(fmt.Sprintf("experiments: writing metrics: %v", err))
+		}
+		if err := os.WriteFile(stem+".json", jsonB, 0o644); err != nil {
+			panic(fmt.Sprintf("experiments: writing metrics: %v", err))
+		}
+	}
+	return csvB, jsonB
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dcpim/internal/sim"
+)
+
+// metricsGoldenSpec is goldenSpec with the telemetry layer on.
+func metricsGoldenSpec(t *testing.T, proto string) RunSpec {
+	t.Helper()
+	spec := goldenSpec(t, proto, false)
+	spec.Metrics = &MetricsSpec{Interval: 10 * sim.Microsecond, Label: "golden-" + proto}
+	return spec
+}
+
+// TestMetricsSamplerDeterminism is the telemetry layer's core guarantee:
+// the sampled CSV series and JSON report are byte-identical between a
+// serial run and RunMany at any worker count, and turning metrics on
+// does not perturb the simulated packet stream (the golden digest is
+// unchanged).
+func TestMetricsSamplerDeterminism(t *testing.T) {
+	serial := Run(metricsGoldenSpec(t, DCPIM))
+	if serial.Digest != goldenDigestClean {
+		t.Errorf("metrics-enabled digest %#016x != golden %#016x: sampling perturbed the run",
+			serial.Digest, goldenDigestClean)
+	}
+	if len(serial.MetricsCSV) == 0 || len(serial.MetricsJSON) == 0 {
+		t.Fatal("metrics run produced no CSV/JSON")
+	}
+	for _, workers := range []int{4, 8} {
+		specs := make([]RunSpec, workers)
+		for i := range specs {
+			specs[i] = metricsGoldenSpec(t, DCPIM)
+		}
+		for i, res := range RunMany(specs, workers) {
+			if !bytes.Equal(res.MetricsCSV, serial.MetricsCSV) {
+				t.Errorf("workers=%d run %d: CSV differs from serial", workers, i)
+			}
+			if !bytes.Equal(res.MetricsJSON, serial.MetricsJSON) {
+				t.Errorf("workers=%d run %d: JSON differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+// TestMetricsContent sanity-checks the emitted artifacts of a dcPIM run:
+// the CSV has the expected header layout and the report carries the
+// instruments the paper's arguments lean on (token-window occupancy,
+// unscheduled-bypass split, per-round matching, fabric queues).
+func TestMetricsContent(t *testing.T) {
+	res := Run(metricsGoldenSpec(t, DCPIM))
+
+	lines := strings.Split(string(res.MetricsCSV), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("CSV too short: %d lines", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "time_ps" {
+		t.Fatalf("CSV header starts %q, want time_ps", header[0])
+	}
+	for _, want := range []string{
+		"core/tokens_outstanding", "core/unsched_bytes", "core/sched_bytes",
+		"core/match/round0_accepted_channels",
+		"netsim/nic_queued_bytes", "netsim/max_port_queue_bytes",
+	} {
+		found := false
+		for _, h := range header {
+			if h == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("CSV header missing column %q", want)
+		}
+	}
+	for i := 2; i < len(header); i++ {
+		if header[i] < header[i-1] {
+			t.Fatalf("CSV columns not sorted: %q after %q", header[i], header[i-1])
+		}
+	}
+
+	var rep RunReport
+	if err := json.Unmarshal(res.MetricsJSON, &rep); err != nil {
+		t.Fatalf("run report: %v", err)
+	}
+	if rep.Protocol != DCPIM || rep.Label != "golden-dcpim" {
+		t.Fatalf("report identity: %+v", rep)
+	}
+	if rep.Samples != len(lines)-2 { // header + trailing newline
+		t.Errorf("report samples %d, CSV rows %d", rep.Samples, len(lines)-2)
+	}
+	counters := map[string]float64{}
+	for _, c := range rep.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["core/tokens_issued"] == 0 {
+		t.Error("no tokens issued in a loaded dcPIM run")
+	}
+	if counters["core/unsched_bytes"] == 0 || counters["core/sched_bytes"] == 0 {
+		t.Error("unscheduled/scheduled byte split not populated")
+	}
+	if counters["netsim/delivered_bytes"] == 0 {
+		t.Error("fabric delivered-bytes counter not populated")
+	}
+}
+
+// TestMetricsFilesWritten covers the -metrics dir/ path: files land under
+// the directory with sanitized names.
+func TestMetricsFilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	spec := metricsGoldenSpec(t, DCPIM)
+	spec.Metrics.Dir = dir
+	spec.Metrics.Label = "fig weird/label"
+	res := Run(spec)
+
+	csvPath := filepath.Join(dir, "fig-weird-label.csv")
+	jsonPath := filepath.Join(dir, "fig-weird-label.json")
+	csvB, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	jsonB, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("JSON not written: %v", err)
+	}
+	if !bytes.Equal(csvB, res.MetricsCSV) || !bytes.Equal(jsonB, res.MetricsJSON) {
+		t.Fatal("on-disk artifacts differ from RunResult bytes")
+	}
+}
+
+// TestMetricsAcrossProtocols runs every comparator with telemetry enabled:
+// instruments register without name collisions and each protocol
+// populates its own section.
+func TestMetricsAcrossProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparator metrics sweep")
+	}
+	prefixes := map[string]string{
+		DCPIM:      "core/",
+		HomaAeolus: "homa-aeolus/",
+		NDP:        "ndp/",
+		HPCC:       "hpcc/",
+	}
+	for _, proto := range Comparators {
+		res := Run(metricsGoldenSpec(t, proto))
+		var rep RunReport
+		if err := json.Unmarshal(res.MetricsJSON, &rep); err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		found := false
+		for _, c := range rep.Counters {
+			if strings.HasPrefix(c.Name, prefixes[proto]) && c.Value > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			for _, h := range rep.Histograms {
+				if strings.HasPrefix(h.Name, prefixes[proto]) && h.Count > 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no populated instrument under %q", proto, prefixes[proto])
+		}
+	}
+}

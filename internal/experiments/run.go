@@ -6,24 +6,29 @@
 package experiments
 
 import (
-	"fmt"
 	"io"
 	"runtime"
 
 	"dcpim/internal/core"
 	"dcpim/internal/faults"
+	"dcpim/internal/metrics"
 	"dcpim/internal/netsim"
 	"dcpim/internal/packet"
-	"dcpim/internal/protocols/fastpass"
-	"dcpim/internal/protocols/homa"
-	"dcpim/internal/protocols/hpcc"
-	"dcpim/internal/protocols/ndp"
-	"dcpim/internal/protocols/phost"
-	"dcpim/internal/protocols/tcp"
+	"dcpim/internal/protocols"
 	"dcpim/internal/sim"
 	"dcpim/internal/stats"
 	"dcpim/internal/topo"
 	"dcpim/internal/workload"
+
+	// Each protocol package self-registers with the protocol registry in
+	// its init; core registers "dcpim" the same way. Blank imports pull
+	// every comparator into the binary.
+	_ "dcpim/internal/protocols/fastpass"
+	_ "dcpim/internal/protocols/homa"
+	_ "dcpim/internal/protocols/hpcc"
+	_ "dcpim/internal/protocols/ndp"
+	_ "dcpim/internal/protocols/phost"
+	_ "dcpim/internal/protocols/tcp"
 )
 
 // Protocol names usable in RunSpec.
@@ -56,6 +61,10 @@ type Options struct {
 	// concurrently through RunMany (0 = GOMAXPROCS, 1 = serial). Results
 	// and printed output are identical at any setting.
 	Workers int
+	// MetricsDir, when non-empty, enables the telemetry layer on
+	// instrumented experiments: each labeled run writes its sampled CSV
+	// series and JSON report under this directory.
+	MetricsDir string
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -74,6 +83,15 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// metrics returns a MetricsSpec labeled for one run, or nil when the
+// telemetry layer is disabled (no MetricsDir).
+func (o Options) metrics(label string) *MetricsSpec {
+	if o.MetricsDir == "" {
+		return nil
+	}
+	return &MetricsSpec{Dir: o.MetricsDir, Label: label}
 }
 
 // RunSpec describes one simulation run.
@@ -96,6 +114,12 @@ type RunSpec struct {
 	// digests across serial and parallel execution and against golden
 	// values.
 	Digest bool
+	// Metrics, when set, enables the telemetry layer: instruments are
+	// registered on a per-run registry, sampled on the simulation clock,
+	// and serialized into RunResult.MetricsCSV / MetricsJSON (and to
+	// Metrics.Dir when set). Sampling adds pure-read events only, so the
+	// simulated packet stream — and Digest — is unchanged.
+	Metrics *MetricsSpec
 }
 
 // RunResult carries everything the figures need from one run.
@@ -111,6 +135,11 @@ type RunResult struct {
 	Trace    *workload.Trace
 	End      sim.Time // simulation end (horizon)
 	Digest   uint64   // FNV-1a over the delivered-packet stream (RunSpec.Digest)
+
+	// MetricsCSV / MetricsJSON hold the sampled time series and the
+	// end-of-run report when RunSpec.Metrics is set (nil otherwise).
+	MetricsCSV  []byte
+	MetricsJSON []byte
 }
 
 // Utilization returns goodput over the run relative to offered load.
@@ -153,7 +182,9 @@ func (r RunResult) Completion() float64 {
 	return float64(r.Col.Completed()) / float64(r.Started)
 }
 
-// Run executes one simulation to its horizon and collects results.
+// Run executes one simulation to its horizon and collects results. The
+// protocol is resolved through the registry (protocols.MustLookup), so
+// any self-registered protocol name works here.
 func Run(spec RunSpec) RunResult {
 	eng := sim.NewEngine(spec.Seed)
 	bin := spec.BinWidth
@@ -162,32 +193,58 @@ func Run(spec RunSpec) RunResult {
 	}
 	col := stats.NewCollector(bin)
 
-	fc, attach := protocolSetup(spec, col)
+	desc := protocols.MustLookup(spec.Protocol)
+	fc := desc.FabricConfig()
 	if spec.Fabric != nil {
 		fc = *spec.Fabric
 	}
 	fab := netsim.New(eng, spec.Topo, fc)
-	attach(fab)
+
+	var reg *metrics.Registry
+	if spec.Metrics != nil {
+		reg = metrics.NewRegistry()
+		fab.RegisterMetrics(reg)
+	}
+	var protoCfg any
+	if spec.DcPIM != nil {
+		protoCfg = spec.DcPIM
+	}
+	desc.Attach(fab, protocols.AttachOptions{
+		Collector:   col,
+		Metrics:     reg,
+		ProtoConfig: protoCfg,
+	})
+
 	var digest uint64
 	if spec.Digest {
 		digest = fnvOffset
-		fab.DeliverHook = func(host int, p *packet.Packet) {
-			digest = fnvMix(digest, uint64(eng.Now()))
-			digest = fnvMix(digest, uint64(host))
-			digest = fnvMix(digest, uint64(p.Kind)<<32|uint64(uint32(p.Size)))
-			digest = fnvMix(digest, uint64(uint32(p.Src))<<32|uint64(uint32(p.Dst)))
-			digest = fnvMix(digest, p.Flow)
-			digest = fnvMix(digest, uint64(p.Seq))
-		}
+		fab.AddObserver(netsim.ObserverFuncs{
+			Delivered: func(host int, p *packet.Packet) {
+				digest = fnvMix(digest, uint64(eng.Now()))
+				digest = fnvMix(digest, uint64(host))
+				digest = fnvMix(digest, uint64(p.Kind)<<32|uint64(uint32(p.Size)))
+				digest = fnvMix(digest, uint64(uint32(p.Src))<<32|uint64(uint32(p.Dst)))
+				digest = fnvMix(digest, p.Flow)
+				digest = fnvMix(digest, uint64(p.Seq))
+			},
+		})
 	}
 	if spec.Faults != nil {
 		faults.Install(eng, fab, spec.Faults)
 	}
+	// The sampler freezes its column set at construction: build it after
+	// every instrument is registered (fabric + protocol), start it before
+	// the run so the first snapshot lands at t=0.
+	var smp *metrics.Sampler
+	if spec.Metrics != nil {
+		smp = metrics.NewSampler(eng, reg, spec.Metrics.sampleInterval(spec.Horizon))
+	}
 	fab.Start()
+	smp.Start()
 	fab.Inject(spec.Trace)
 	eng.Run(sim.Time(spec.Horizon))
 
-	return RunResult{
+	res := RunResult{
 		Digest:   digest,
 		Protocol: spec.Protocol,
 		Records:  col.Records(),
@@ -200,6 +257,10 @@ func Run(spec RunSpec) RunResult {
 		Trace:    spec.Trace,
 		End:      sim.Time(spec.Horizon),
 	}
+	if spec.Metrics != nil {
+		res.MetricsCSV, res.MetricsJSON = emitMetrics(spec, reg, smp)
+	}
+	return res
 }
 
 // FNV-1a 64 folded over 8-byte words: cheap enough to run on every
@@ -216,43 +277,6 @@ func fnvMix(h, w uint64) uint64 {
 		w >>= 8
 	}
 	return h
-}
-
-// protocolSetup returns the fabric configuration a protocol expects and a
-// function attaching it to every host.
-func protocolSetup(spec RunSpec, col *stats.Collector) (netsim.Config, func(*netsim.Fabric)) {
-	switch spec.Protocol {
-	case DCPIM:
-		cfg := core.DefaultConfig()
-		if spec.DcPIM != nil {
-			cfg = *spec.DcPIM
-		}
-		return netsim.Config{Spray: true}, func(f *netsim.Fabric) { core.Attach(f, cfg, col) }
-	case HomaAeolus:
-		cfg := homa.AeolusConfig()
-		return cfg.FabricConfig(), func(f *netsim.Fabric) { homa.Attach(f, cfg, col) }
-	case Homa:
-		cfg := homa.DefaultConfig()
-		return cfg.FabricConfig(), func(f *netsim.Fabric) { homa.Attach(f, cfg, col) }
-	case NDP:
-		cfg := ndp.Config{}
-		return cfg.FabricConfig(), func(f *netsim.Fabric) { ndp.Attach(f, cfg, col) }
-	case HPCC:
-		cfg := hpcc.DefaultConfig()
-		return cfg.FabricConfig(), func(f *netsim.Fabric) { hpcc.Attach(f, cfg, col) }
-	case PHost:
-		return phost.FabricConfig(), func(f *netsim.Fabric) { phost.Attach(f, phost.Config{}, col) }
-	case DCTCP:
-		cfg := tcp.DCTCPConfig(0)
-		return cfg.FabricConfig(), func(f *netsim.Fabric) { tcp.Attach(f, cfg, col) }
-	case Cubic:
-		cfg := tcp.CubicConfig()
-		return cfg.FabricConfig(), func(f *netsim.Fabric) { tcp.Attach(f, cfg, col) }
-	case Fastpass:
-		return fastpass.FabricConfig(), func(f *netsim.Fabric) { fastpass.Attach(f, fastpass.Config{}, col) }
-	default:
-		panic(fmt.Sprintf("experiments: unknown protocol %q", spec.Protocol))
-	}
 }
 
 // Experiment is one reproducible paper artifact.

@@ -11,6 +11,10 @@ type ChannelOptions struct {
 	// FCT-optimizing first round (§3.5): lower sorts first. Nil disables
 	// the FCT round (all rounds pick uniformly at random).
 	Remaining func(s, r int) int64
+	// OnRound, if non-nil, is invoked after every completed round with
+	// the 0-based round index and the cumulative number of matched
+	// channels. Rounds skipped by early convergence do not fire.
+	OnRound func(round, matchedChannels int)
 }
 
 // ChannelMatching is a bipartite b-matching: up to K channels per sender
@@ -97,6 +101,7 @@ func ChannelMatch(g *Graph, rounds, k int, rng *rand.Rand, opts ChannelOptions) 
 	if demand == nil {
 		demand = func(int, int) int { return k }
 	}
+	matched := 0 // running TotalChannels, kept incrementally for OnRound
 
 	for round := 0; round < rounds; round++ {
 		srpt := round == 0 && opts.Remaining != nil
@@ -172,8 +177,12 @@ func ChannelMatch(g *Graph, rounds, k int, rng *rand.Rand, opts ChannelOptions) 
 				m.Channels[[2]int{gr.peer, r}] += take
 				m.SenderUsed[gr.peer] += take
 				m.ReceiverUsed[r] += take
+				matched += take
 				free -= take
 			}
+		}
+		if opts.OnRound != nil {
+			opts.OnRound(round, matched)
 		}
 	}
 	return m

@@ -193,6 +193,57 @@ func PIM(g *Graph, rounds int, rng *rand.Rand) *Matching {
 	return m
 }
 
+// PIMRounds runs PIM like PIM but additionally returns the cumulative
+// matching size after each completed round — the per-round trajectory
+// Theorem 1 bounds (sizes[i] is the size after round i). Rounds skipped
+// by early convergence are not reported, so len(sizes) ≤ rounds.
+func PIMRounds(g *Graph, rounds int, rng *rand.Rand) (*Matching, []int) {
+	m := &Matching{
+		SenderOf:   fillNeg(g.Receivers),
+		ReceiverOf: fillNeg(g.Senders),
+	}
+	sizes := make([]int, 0, rounds)
+	grants := make([][]int, g.Senders)
+	for round := 0; round < rounds; round++ {
+		requests := make([][]int, g.Receivers)
+		active := false
+		for s := 0; s < g.Senders; s++ {
+			if m.ReceiverOf[s] >= 0 {
+				continue
+			}
+			for _, r := range g.Adj[s] {
+				if m.SenderOf[r] < 0 {
+					requests[r] = append(requests[r], s)
+					active = true
+				}
+			}
+		}
+		if !active {
+			break
+		}
+		for s := range grants {
+			grants[s] = grants[s][:0]
+		}
+		for r := 0; r < g.Receivers; r++ {
+			if m.SenderOf[r] >= 0 || len(requests[r]) == 0 {
+				continue
+			}
+			s := requests[r][rng.Intn(len(requests[r]))]
+			grants[s] = append(grants[s], r)
+		}
+		for s := 0; s < g.Senders; s++ {
+			if len(grants[s]) == 0 || m.ReceiverOf[s] >= 0 {
+				continue
+			}
+			r := grants[s][rng.Intn(len(grants[s]))]
+			m.ReceiverOf[s] = r
+			m.SenderOf[r] = s
+		}
+		sizes = append(sizes, m.Size())
+	}
+	return m, sizes
+}
+
 // ConvergedPIM runs PIM until it reaches a maximal matching (PIM always
 // converges; ~log n rounds in expectation). This is the paper's M*.
 func ConvergedPIM(g *Graph, rng *rand.Rand) *Matching {

@@ -1,0 +1,77 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// PIMRounds must agree with PIM on the final matching (same RNG stream)
+// and report a nondecreasing per-round size trajectory ending at the
+// final size.
+func TestPIMRoundsTrajectory(t *testing.T) {
+	g := RandomGraph(rand.New(rand.NewSource(7)), 32, 32, 4)
+	m, sizes := PIMRounds(g, 6, rand.New(rand.NewSource(9)))
+	if !m.Valid(g) {
+		t.Fatal("invalid matching")
+	}
+	if len(sizes) == 0 {
+		t.Fatal("no rounds reported")
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] < sizes[i-1] {
+			t.Fatalf("round %d shrank the matching: %v", i, sizes)
+		}
+	}
+	if sizes[len(sizes)-1] != m.Size() {
+		t.Fatalf("last round size %d != final %d", sizes[len(sizes)-1], m.Size())
+	}
+
+	ref := PIM(g, 6, rand.New(rand.NewSource(9)))
+	if ref.Size() != m.Size() {
+		t.Fatalf("PIMRounds size %d != PIM size %d under the same seed", m.Size(), ref.Size())
+	}
+	for s, r := range ref.ReceiverOf {
+		if m.ReceiverOf[s] != r {
+			t.Fatalf("sender %d matched to %d, PIM says %d", s, m.ReceiverOf[s], r)
+		}
+	}
+}
+
+// OnRound fires once per executed round with a cumulative, nondecreasing
+// channel count ending at TotalChannels, and convergence-skipped rounds
+// never fire.
+func TestChannelMatchOnRound(t *testing.T) {
+	g := RandomGraph(rand.New(rand.NewSource(3)), 24, 24, 3)
+	var rounds []int
+	var counts []int
+	m := ChannelMatch(g, 8, 4, rand.New(rand.NewSource(5)), ChannelOptions{
+		OnRound: func(round, matched int) {
+			rounds = append(rounds, round)
+			counts = append(counts, matched)
+		},
+	})
+	if !m.Valid(g) {
+		t.Fatal("invalid b-matching")
+	}
+	if len(rounds) == 0 || len(rounds) > 8 {
+		t.Fatalf("OnRound fired %d times", len(rounds))
+	}
+	for i, r := range rounds {
+		if r != i {
+			t.Fatalf("round indices %v not consecutive from 0", rounds)
+		}
+		if i > 0 && counts[i] < counts[i-1] {
+			t.Fatalf("matched channels decreased: %v", counts)
+		}
+	}
+	if last := counts[len(counts)-1]; last != m.TotalChannels() {
+		t.Fatalf("final OnRound count %d != TotalChannels %d", last, m.TotalChannels())
+	}
+
+	// The callback must not perturb the matching: same seed, no callback.
+	ref := ChannelMatch(g, 8, 4, rand.New(rand.NewSource(5)), ChannelOptions{})
+	if ref.TotalChannels() != m.TotalChannels() {
+		t.Fatalf("OnRound changed the outcome: %d vs %d channels",
+			m.TotalChannels(), ref.TotalChannels())
+	}
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import "math"
+
+// Histogram accumulates float64 observations into logarithmically-spaced
+// buckets (the DDSketch layout): bucket i covers (γ^(i-1), γ^i] with
+// γ = (1+α)/(1−α), so any quantile is reported with relative error ≤ α.
+// α is fixed at 4%, comfortably inside the 5% bound the tests enforce,
+// and gives ~176 buckets per decade-of-e — a few KB for the value ranges
+// the simulator observes (bytes, packets, window sizes).
+//
+// Buckets are kept in a dense slice between the lowest and highest index
+// seen, growing on demand; non-positive observations land in a separate
+// zeros bucket and are reported as the observed minimum. Exact min, max,
+// count and sum are tracked alongside, and quantile estimates are clamped
+// to [min, max].
+type Histogram struct {
+	name        string
+	gamma       float64
+	invLogGamma float64
+
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+
+	zeros   int64
+	minIdx  int
+	buckets []int64
+}
+
+// histogramAlpha is the relative-accuracy guarantee of the log buckets.
+const histogramAlpha = 0.04
+
+func newHistogram(name string) *Histogram {
+	gamma := (1 + histogramAlpha) / (1 - histogramAlpha)
+	return &Histogram{
+		name:        name,
+		gamma:       gamma,
+		invLogGamma: 1 / math.Log(gamma),
+	}
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.count++
+	h.sum += v
+	if v <= 0 {
+		h.zeros++
+		return
+	}
+	idx := int(math.Ceil(math.Log(v) * h.invLogGamma))
+	switch {
+	case len(h.buckets) == 0:
+		h.minIdx = idx
+		h.buckets = append(h.buckets, 1)
+	case idx < h.minIdx:
+		grown := make([]int64, len(h.buckets)+(h.minIdx-idx))
+		copy(grown[h.minIdx-idx:], h.buckets)
+		h.buckets = grown
+		h.minIdx = idx
+		h.buckets[0]++
+	case idx >= h.minIdx+len(h.buckets):
+		for idx >= h.minIdx+len(h.buckets) {
+			h.buckets = append(h.buckets, 0)
+		}
+		h.buckets[idx-h.minIdx]++
+	default:
+		h.buckets[idx-h.minIdx]++
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Mean returns the exact arithmetic mean (0 when empty or nil).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the exact minimum observation (0 when empty or nil).
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum observation (0 when empty or nil).
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the p-quantile (p in [0,1], clamped) with relative
+// error ≤ 4%. Returns 0 when empty or nil.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	// Nearest-rank: the smallest value with at least ⌈p·n⌉ observations
+	// at or below it.
+	rank := int64(math.Ceil(p * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := h.zeros
+	if cum >= rank {
+		// Non-positive observations: report the exact minimum (they are
+		// outside the log buckets' domain).
+		return h.min
+	}
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= rank {
+			// Midpoint estimate for (γ^(i-1), γ^i]: 2γ^i/(γ+1), the value
+			// equidistant (in relative terms) from both bucket edges.
+			v := 2 * math.Pow(h.gamma, float64(h.minIdx+i)) / (h.gamma + 1)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// P50 estimates the median.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P99 estimates the 99th percentile.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// P999 estimates the 99.9th percentile.
+func (h *Histogram) P999() float64 { return h.Quantile(0.999) }
+
+// HistogramSummary is one histogram's end-of-run digest in a report.
+type HistogramSummary struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Summary digests the histogram.
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	return HistogramSummary{
+		Name:  h.name,
+		Count: h.count,
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.P50(),
+		P99:   h.P99(),
+		P999:  h.P999(),
+	}
+}

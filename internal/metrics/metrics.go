@@ -1,0 +1,246 @@
+// Package metrics is the simulator's deterministic telemetry layer: a
+// per-run registry of typed instruments (Counter, Gauge, GaugeFunc,
+// log-bucketed Histogram) plus a Sampler that snapshots instrument values
+// on a simulation-clock cadence.
+//
+// Two properties shape the design:
+//
+//   - Zero cost when disabled. Every instrument method is nil-safe — a
+//     nil *Counter, *Gauge or *Histogram no-ops — so instrumented code
+//     carries no "is telemetry on?" branches and a run without a
+//     registry allocates nothing on the hot path.
+//
+//   - Determinism. Instruments are updated from simulation events and
+//     sampled on the simulation clock, never wall clock, and the
+//     registry is per-run (no globals), so sampled series are
+//     byte-identical between serial and parallel executions of the same
+//     seed. Aggregations use int64 or fixed-order slices; nothing sums
+//     floats over Go map iteration, whose order is randomized.
+//
+// A Registry is not safe for concurrent use: one registry belongs to one
+// simulation run, which is single-threaded by construction.
+package metrics
+
+import "sort"
+
+// Counter is a monotonically-increasing int64 instrument.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Add increments the counter. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v += n
+}
+
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous int64 instrument (queue depth, window
+// occupancy). Updated incrementally from events so sampling it is a plain
+// read.
+type Gauge struct {
+	name string
+	v    int64
+}
+
+// Set replaces the gauge value. No-op on a nil receiver.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Add moves the gauge by n (use a negative n to decrease). No-op on a
+// nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v += n
+}
+
+// Value returns the current value (0 for a nil receiver).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Registry holds one run's instruments, keyed by slash-separated names
+// ("netsim/sw0/port2/queue_bytes"). All lookups on a nil registry return
+// nil instruments, which no-op — callers register unconditionally and pay
+// nothing when telemetry is off.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	funcs    []gaugeFunc
+	hists    []*Histogram
+	kinds    map[string]string
+}
+
+type gaugeFunc struct {
+	name string
+	fn   func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{kinds: make(map[string]string)}
+}
+
+func (r *Registry) claim(name, kind string) {
+	if prev, dup := r.kinds[name]; dup {
+		panic("metrics: instrument " + name + " registered twice (" + prev + ", " + kind + ")")
+	}
+	r.kinds[name] = kind
+}
+
+// Counter registers and returns a counter. Returns nil (a no-op
+// instrument) when the registry is nil. Panics on a duplicate name.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.claim(name, "counter")
+	c := &Counter{name: name}
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge registers and returns a gauge. Returns nil when the registry is
+// nil. Panics on a duplicate name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.claim(name, "gauge")
+	g := &Gauge{name: name}
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// GaugeFunc registers a computed gauge: fn is invoked at each sample
+// tick. fn must be a pure read of simulation state — it must not draw
+// randomness or mutate anything, or determinism is lost. No-op when the
+// registry is nil.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.claim(name, "gaugefunc")
+	r.funcs = append(r.funcs, gaugeFunc{name, fn})
+}
+
+// Histogram registers and returns a log-bucketed histogram. Returns nil
+// when the registry is nil. Panics on a duplicate name.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.claim(name, "histogram")
+	h := newHistogram(name)
+	r.hists = append(r.hists, h)
+	return h
+}
+
+// NameValue is one instrument's end-of-run value in a report.
+type NameValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// CounterValues returns every counter's final value, sorted by name.
+func (r *Registry) CounterValues() []NameValue {
+	if r == nil {
+		return nil
+	}
+	out := make([]NameValue, 0, len(r.counters))
+	for _, c := range r.counters {
+		out = append(out, NameValue{c.name, float64(c.v)})
+	}
+	sortByName(out)
+	return out
+}
+
+// GaugeValues returns the final value of every gauge and computed gauge,
+// sorted by name.
+func (r *Registry) GaugeValues() []NameValue {
+	if r == nil {
+		return nil
+	}
+	out := make([]NameValue, 0, len(r.gauges)+len(r.funcs))
+	for _, g := range r.gauges {
+		out = append(out, NameValue{g.name, float64(g.v)})
+	}
+	for _, f := range r.funcs {
+		out = append(out, NameValue{f.name, f.fn()})
+	}
+	sortByName(out)
+	return out
+}
+
+// HistogramSummaries returns a summary of every histogram, sorted by
+// name.
+func (r *Registry) HistogramSummaries() []HistogramSummary {
+	if r == nil {
+		return nil
+	}
+	out := make([]HistogramSummary, 0, len(r.hists))
+	for _, h := range r.hists {
+		out = append(out, h.Summary())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func sortByName(nv []NameValue) {
+	sort.Slice(nv, func(i, j int) bool { return nv[i].Name < nv[j].Name })
+}
+
+// columns returns the sampled instruments (counters, gauges, computed
+// gauges — histograms summarize at end of run instead) as named read
+// functions, sorted by name. The Sampler freezes this set at Start.
+func (r *Registry) columns() []column {
+	if r == nil {
+		return nil
+	}
+	cols := make([]column, 0, len(r.counters)+len(r.gauges)+len(r.funcs))
+	for _, c := range r.counters {
+		c := c
+		cols = append(cols, column{c.name, func() float64 { return float64(c.v) }})
+	}
+	for _, g := range r.gauges {
+		g := g
+		cols = append(cols, column{g.name, func() float64 { return float64(g.v) }})
+	}
+	for _, f := range r.funcs {
+		cols = append(cols, column{f.name, f.fn})
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+	return cols
+}
+
+type column struct {
+	name string
+	read func() float64
+}

@@ -36,6 +36,21 @@ func (a *auditor) fail(format string, args ...any) {
 	}
 }
 
+// The auditor subscribes to the fabric as an Observer: injection,
+// delivery and drop transitions arrive through the same fan-out every
+// other probe uses.
+func (a *auditor) PacketInjected(_ int, p *packet.Packet) { a.inject(p) }
+
+// PacketDelivered implements Observer.
+func (a *auditor) PacketDelivered(_ int, p *packet.Packet) { a.deliver(p) }
+
+// PacketDropped implements Observer.
+func (a *auditor) PacketDropped(p *packet.Packet) { a.drop(p) }
+
+// PacketTrimmed implements Observer. Trims keep the packet in flight, so
+// ownership does not change hands and the auditor ignores them.
+func (a *auditor) PacketTrimmed(*packet.Packet) {}
+
 func (a *auditor) inject(p *packet.Packet) {
 	if _, ok := a.live[p]; ok {
 		a.fail("audit: packet injected while fabric still owns it (double-inject or premature Release): %v", p)
@@ -68,6 +83,7 @@ func (a *auditor) drop(p *packet.Packet) {
 func (f *Fabric) EnableAudit() {
 	if f.audit == nil {
 		f.audit = &auditor{live: make(map[*packet.Packet]struct{})}
+		f.AddObserver(f.audit)
 	}
 }
 

@@ -107,19 +107,15 @@ type Fabric struct {
 	Counters Counters
 
 	// audit, when non-nil, tracks every packet the fabric owns and flags
-	// leaks, double-frees, and counter mismatches (see EnableAudit).
+	// leaks, double-frees, and counter mismatches (see EnableAudit). It
+	// receives events as one of the observers but keeps a direct
+	// reference for AuditVerify/AuditErrors.
 	audit *auditor
 
-	// DeliverHook, when set, observes every packet delivered to a
-	// destination protocol (after host stack delay). Experiments use it
-	// for utilization time series. Hooks must copy what they need: the
-	// fabric recycles the packet after the observation completes.
-	DeliverHook func(host int, p *packet.Packet)
-	// DropHook, when set, observes every packet dropped at a switch or
-	// NIC queue (tracing, debugging). Same copy rule as DeliverHook.
-	DropHook func(p *packet.Packet)
-	// TrimHook, when set, observes every packet trimmed to a header.
-	TrimHook func(p *packet.Packet)
+	// obs fans packet-lifecycle events out to every registered Observer
+	// (tracing, auditing, digests, metrics probes). Empty for
+	// uninstrumented runs, which keeps the hot path allocation-free.
+	obs []Observer
 }
 
 // New builds a fabric over the topology. Protocols are attached afterwards
@@ -238,8 +234,8 @@ func (h *Host) Send(p *packet.Packet) {
 		panic("netsim: packet Src does not match sending host")
 	}
 	p.SentAt = h.fab.eng.Now()
-	if h.fab.audit != nil {
-		h.fab.audit.inject(p)
+	for _, o := range h.fab.obs {
+		o.PacketInjected(h.id, p)
 	}
 	h.fab.eng.AfterFunc(h.fab.topo.HostDelay, hostEnqueue, h, p, 0)
 }
@@ -259,17 +255,14 @@ func (h *Host) deliver(p *packet.Packet) {
 func hostDeliver(a, b any, _ int) {
 	h := a.(*Host)
 	p := b.(*packet.Packet)
-	if h.fab.audit != nil {
-		h.fab.audit.deliver(p)
-	}
 	if p.Kind == packet.Data {
 		h.fab.Counters.DeliveredData++
 		h.fab.Counters.DeliveredBytes += int64(p.Size)
 	} else {
 		h.fab.Counters.DeliveredCtrl++
 	}
-	if h.fab.DeliverHook != nil {
-		h.fab.DeliverHook(h.id, p)
+	for _, o := range h.fab.obs {
+		o.PacketDelivered(h.id, p)
 	}
 	h.proto.OnPacket(p)
 	packet.ReleaseUnlessKept(p)

@@ -446,19 +446,19 @@ func TestRandomLossInjection(t *testing.T) {
 	}
 }
 
-func TestDropHookFires(t *testing.T) {
+func TestDropObserverFires(t *testing.T) {
 	cfg := Config{Spray: true, PortBufferBytes: 3 * packet.MTU}
 	f, _ := buildFabric(t, topo.SmallLeafSpine(), cfg)
-	var hooked int64
-	f.DropHook = func(p *packet.Packet) { hooked++ }
+	var observed int64
+	f.AddObserver(ObserverFuncs{Dropped: func(p *packet.Packet) { observed++ }})
 	for src := 1; src < 8; src++ {
 		for i := 0; i < 20; i++ {
 			f.Host(src).Send(packet.NewData(src, 0, uint64(src), i, packet.MTU, packet.PrioShort))
 		}
 	}
 	f.Engine().RunAll()
-	if hooked == 0 || hooked != f.Counters.DataDrops {
-		t.Fatalf("DropHook fired %d times, counters %d", hooked, f.Counters.DataDrops)
+	if observed == 0 || observed != f.Counters.DataDrops {
+		t.Fatalf("drop observer fired %d times, counters %d", observed, f.Counters.DataDrops)
 	}
 }
 

@@ -110,8 +110,8 @@ func (o *outPort) enqueueAt(p *packet.Packet, sw *swDev, in int) {
 		p.Size = packet.HeaderSize
 		p.Priority = packet.PrioControl
 		o.fab.Counters.Trims++
-		if o.fab.TrimHook != nil {
-			o.fab.TrimHook(p)
+		for _, ob := range o.fab.obs {
+			ob.PacketTrimmed(p)
 		}
 		isData = false
 	}
@@ -284,14 +284,11 @@ func (d *swDev) signalUpstream(in int, pause bool) {
 	})
 }
 
-// dropped routes a drop to the DropHook, if any, then recycles the
+// dropped fans the drop out to the observers, then recycles the
 // packet — the fabric's second release point (the first is delivery).
 func (f *Fabric) dropped(p *packet.Packet) {
-	if f.audit != nil {
-		f.audit.drop(p)
-	}
-	if f.DropHook != nil {
-		f.DropHook(p)
+	for _, o := range f.obs {
+		o.PacketDropped(p)
 	}
 	packet.Release(p)
 }

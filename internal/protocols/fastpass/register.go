@@ -1,0 +1,21 @@
+package fastpass
+
+import (
+	"dcpim/internal/netsim"
+	"dcpim/internal/protocols"
+)
+
+// Register Fastpass. ProtoConfig accepts a Config override.
+func init() {
+	protocols.Register(protocols.Descriptor{
+		Name:         "fastpass",
+		FabricConfig: FabricConfig,
+		Attach: func(f *netsim.Fabric, opts protocols.AttachOptions) {
+			cfg := Config{}
+			if c, ok := opts.ProtoConfig.(Config); ok {
+				cfg = c
+			}
+			Attach(f, cfg, opts.Collector)
+		},
+	})
+}

@@ -74,6 +74,7 @@ func (c Config) FabricConfig() netsim.Config {
 type Proto struct {
 	cfg Config
 	col *stats.Collector
+	ins instruments // optional telemetry (RegisterMetrics); zero value is inert
 
 	host *netsim.Host
 	eng  *sim.Engine
@@ -196,6 +197,10 @@ func (p *Proto) sendData(f *flowtrack.Tx, seq int, prio uint8, unsched bool) {
 	d.FlowSize = f.Size
 	d.Unsched = unsched
 	f.MarkSent(seq)
+	p.ins.sentBytes.Add(int64(d.Size))
+	if unsched {
+		p.ins.unschedBytes.Add(int64(d.Size))
+	}
 	p.host.Send(d)
 }
 
@@ -328,6 +333,8 @@ func (p *Proto) grantTick() {
 		g := packet.NewControl(packet.Grant, p.id, f.Src, f.ID)
 		g.Seq = seq
 		g.Count = int(p.schedPrio(rank))
+		p.ins.grants.Inc()
+		p.ins.grantedBytes.Add(int64(packet.DataPacketSize(f.Size, seq)))
 		p.host.Send(g)
 		granted = true
 		break

@@ -50,6 +50,7 @@ func (c Config) FabricConfig() netsim.Config {
 type Proto struct {
 	cfg Config
 	col *stats.Collector
+	ins instruments // optional telemetry (RegisterMetrics); zero value is inert
 
 	host *netsim.Host
 	eng  *sim.Engine
@@ -316,4 +317,6 @@ func (p *Proto) computeWind(f *txState, u float64, updateWc bool) {
 	if f.w < packet.MTU {
 		f.w = packet.MTU
 	}
+	p.ins.updates.Inc()
+	p.ins.cwnd.Observe(f.w)
 }

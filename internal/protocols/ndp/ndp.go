@@ -41,6 +41,7 @@ func (c Config) FabricConfig() netsim.Config {
 type Proto struct {
 	cfg Config
 	col *stats.Collector
+	ins instruments // optional telemetry (RegisterMetrics); zero value is inert
 
 	host *netsim.Host
 	eng  *sim.Engine
@@ -127,6 +128,7 @@ func (p *Proto) sendData(f *txState, seq int, prio uint8) {
 	d := packet.NewData(p.id, f.Dst, f.ID, seq, packet.DataPacketSize(f.Size, seq), prio)
 	d.FlowSize = f.Size
 	f.MarkSent(seq)
+	p.ins.sentBytes.Add(int64(d.Size))
 	p.host.Send(d)
 }
 
@@ -281,6 +283,7 @@ func (p *Proto) pullTick() {
 			continue
 		}
 		pull := packet.NewControl(packet.Pull, p.id, ref.src, ref.flow)
+		p.ins.pulls.Inc()
 		p.host.Send(pull)
 		p.eng.After(p.mtuTime, p.pullTick)
 		return
@@ -295,6 +298,7 @@ func (p *Proto) onNack(pkt *packet.Packet) {
 	if f == nil {
 		return
 	}
+	p.ins.nacks.Inc()
 	for _, s := range f.retx {
 		if s == pkt.Seq {
 			return // already queued

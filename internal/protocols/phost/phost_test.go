@@ -50,11 +50,11 @@ func TestFlatPriority(t *testing.T) {
 	Attach(fab, Config{}, col)
 	fab.Start()
 	prios := map[uint8]bool{}
-	fab.DeliverHook = func(host int, p *packet.Packet) {
+	fab.AddObserver(netsim.ObserverFuncs{Delivered: func(host int, p *packet.Packet) {
 		if p.Kind == packet.Data {
 			prios[p.Priority] = true
 		}
-	}
+	}})
 	fab.Inject(&workload.Trace{Flows: []workload.Flow{
 		{ID: 1, Src: 0, Dst: 7, Size: 500_000, Arrival: 0},
 		{ID: 2, Src: 1, Dst: 7, Size: 5_000, Arrival: 0},

@@ -1,0 +1,23 @@
+package phost
+
+import (
+	"dcpim/internal/netsim"
+	"dcpim/internal/protocols"
+	"dcpim/internal/protocols/homa"
+)
+
+// Register pHost. Proto aliases homa.Proto, so the engine's instruments
+// apply under the "phost" prefix. ProtoConfig accepts a Config override.
+func init() {
+	protocols.Register(protocols.Descriptor{
+		Name:         "phost",
+		FabricConfig: FabricConfig,
+		Attach: func(f *netsim.Fabric, opts protocols.AttachOptions) {
+			cfg := Config{}
+			if c, ok := opts.ProtoConfig.(Config); ok {
+				cfg = c
+			}
+			homa.RegisterMetrics(Attach(f, cfg, opts.Collector), opts.Metrics, "phost")
+		},
+	})
+}

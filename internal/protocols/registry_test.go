@@ -1,0 +1,73 @@
+package protocols
+
+import (
+	"strings"
+	"testing"
+
+	"dcpim/internal/netsim"
+)
+
+// This test binary links no protocol packages (they import this package,
+// not the reverse), so the registry starts empty and the test owns it.
+
+func desc(name string) Descriptor {
+	return Descriptor{
+		Name:         name,
+		FabricConfig: func() netsim.Config { return netsim.Config{Spray: true} },
+		Attach:       func(*netsim.Fabric, AttachOptions) {},
+	}
+}
+
+func TestRegisterLookup(t *testing.T) {
+	Register(desc("beta"))
+	Register(desc("alpha"))
+
+	if _, ok := Lookup("alpha"); !ok {
+		t.Fatal("alpha not found")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unregistered name found")
+	}
+	d := MustLookup("beta")
+	if !d.FabricConfig().Spray {
+		t.Fatal("descriptor round-trip lost FabricConfig")
+	}
+	names := Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("Names() = %v, want sorted [alpha beta]", names)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndIncomplete(t *testing.T) {
+	expectPanic := func(name string, d Descriptor, wantSub string) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			if s, ok := r.(string); ok && wantSub != "" && !strings.Contains(s, wantSub) {
+				t.Fatalf("%s: panic %q missing %q", name, s, wantSub)
+			}
+		}()
+		Register(d)
+	}
+	Register(desc("gamma"))
+	expectPanic("duplicate", desc("gamma"), "gamma")
+	expectPanic("no name", Descriptor{FabricConfig: desc("x").FabricConfig, Attach: desc("x").Attach}, "incomplete")
+	expectPanic("no fabric", Descriptor{Name: "y", Attach: desc("y").Attach}, "incomplete")
+	expectPanic("no attach", Descriptor{Name: "z", FabricConfig: desc("z").FabricConfig}, "incomplete")
+}
+
+func TestMustLookupPanicsWithNames(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "registered:") {
+			t.Fatalf("panic %v does not list registered protocols", r)
+		}
+	}()
+	MustLookup("definitely-not-registered")
+}

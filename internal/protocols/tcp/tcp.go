@@ -71,6 +71,7 @@ func (c Config) FabricConfig() netsim.Config {
 type Proto struct {
 	cfg Config
 	col *stats.Collector
+	ins instruments // optional telemetry (RegisterMetrics); zero value is inert
 
 	host *netsim.Host
 	eng  *sim.Engine
@@ -180,6 +181,7 @@ func (p *Proto) onRTO(f *txState) {
 		return
 	}
 	// Retransmit from the cumulative ack; collapse the window.
+	p.ins.rtos.Inc()
 	f.cc.OnLoss(p.eng.Now())
 	f.cc.OnLoss(p.eng.Now()) // RTO is a stronger signal than a dup-ack loss
 	f.nextSeq = f.cumAck
@@ -286,11 +288,13 @@ func (p *Proto) onAck(ack *packet.Packet) {
 		f.dupAcks++
 		f.cc.OnAck(0, ack.ECN, now, f.srtt)
 		if f.dupAcks == 3 && f.cumAck >= f.recover {
+			p.ins.fastRetx.Inc()
 			f.cc.OnLoss(now)
 			f.recover = f.nextSeq
 			p.sendSeq(f, f.cumAck) // fast retransmit the hole
 		}
 	}
+	p.ins.cwnd.Observe(f.cc.Window())
 	p.trySend(f)
 }
 

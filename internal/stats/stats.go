@@ -136,14 +136,22 @@ func summarizeValues(xs []float64) Summary {
 	}
 }
 
-// Percentile returns the p-quantile (0..1) of sorted xs using the
-// nearest-rank method.
+// Percentile returns the p-quantile (0..1) of xs using the nearest-rank
+// method. xs MUST already be sorted ascending — the function reads ranks
+// directly and returns garbage on unsorted input (it cannot afford to
+// verify or sort per call; Summarize sorts once and queries many times).
+// Degenerate inputs are total: an empty slice yields 0 (never NaN, never
+// a panic), a single element is every quantile of itself, and p is
+// clamped to [0, 1] with NaN treated as 0.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
-		return math.NaN()
+		return 0
 	}
-	if p <= 0 {
+	if !(p > 0) { // also catches NaN
 		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
 	}
 	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
 	if rank < 0 {

@@ -37,8 +37,17 @@ func TestPercentile(t *testing.T) {
 	if p := Percentile(xs, 0); p != 1 {
 		t.Fatalf("P0 = %v, want 1", p)
 	}
-	if !math.IsNaN(Percentile(nil, 0.5)) {
-		t.Fatal("empty percentile not NaN")
+	if p := Percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v, want 0", p)
+	}
+	if p := Percentile([]float64{7}, 0.999); p != 7 {
+		t.Fatalf("single-element P99.9 = %v, want 7", p)
+	}
+	if p := Percentile(xs, 1.5); p != 10 {
+		t.Fatalf("p>1 percentile = %v, want max", p)
+	}
+	if p := Percentile(xs, math.NaN()); p != 1 {
+		t.Fatalf("NaN percentile = %v, want min", p)
 	}
 }
 

@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"dcpim/internal/netsim"
+	"dcpim/internal/packet"
+)
+
+// Attach registers r as an observer on the fabric so drops, trims, and
+// deliveries are recorded automatically. Call before fab.Start.
+func Attach(fab *netsim.Fabric, r *Recorder) {
+	eng := fab.Engine()
+	fab.AddObserver(netsim.ObserverFuncs{
+		Delivered: func(_ int, p *packet.Packet) {
+			r.Record(FromPacket(eng.Now(), Deliver, p))
+		},
+		Dropped: func(p *packet.Packet) {
+			r.Record(FromPacket(eng.Now(), Drop, p))
+		},
+		Trimmed: func(p *packet.Packet) {
+			r.Record(FromPacket(eng.Now(), Trim, p))
+		},
+	})
+}

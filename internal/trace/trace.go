@@ -1,6 +1,6 @@
 // Package trace records simulation events into a bounded ring buffer for
 // debugging and analysis: packet drops, trims, and deliveries as observed
-// by the fabric. Attach a Recorder to a netsim.Fabric via SetObserver and
+// by the fabric. Attach a Recorder to a netsim.Fabric via Attach and
 // dump (or filter) the tail after a run. Recording is allocation-light so
 // it can stay enabled in tests.
 package trace

@@ -78,8 +78,8 @@ func TestDumpFormat(t *testing.T) {
 	}
 }
 
-// End-to-end: a recorder attached to fabric hooks captures drops and
-// trims from a real simulation.
+// End-to-end: a recorder attached via the fabric observer captures drops
+// and trims from a real simulation.
 func TestFabricIntegration(t *testing.T) {
 	eng := sim.NewEngine(1)
 	tp := topo.SmallLeafSpine().Build()
@@ -88,12 +88,7 @@ func TestFabricIntegration(t *testing.T) {
 		TrimThresholdBytes: 8 * packet.MTU,
 	})
 	rec := NewRecorder(1024)
-	fab.TrimHook = func(p *packet.Packet) {
-		rec.Record(FromPacket(eng.Now(), Trim, p))
-	}
-	fab.DropHook = func(p *packet.Packet) {
-		rec.Record(FromPacket(eng.Now(), Drop, p))
-	}
+	Attach(fab, rec)
 	for i := 0; i < tp.NumHosts; i++ {
 		fab.AttachProtocol(i, nop{})
 	}
