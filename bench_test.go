@@ -6,6 +6,7 @@
 package main
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -232,6 +233,42 @@ func BenchmarkDcPIMEndToEnd(b *testing.B) {
 		}.Generate()
 		fab.Inject(tr)
 		eng.Run(sim.Time(300 * sim.Microsecond))
+	}
+}
+
+// BenchmarkFatTreeSharded measures the conservative-parallel engine on
+// one big FatTree fabric at 1, 2 and 4 shards — same seed, byte-identical
+// results (TestShardedByteIdentity), only wall-clock changes. Full mode
+// runs dcPIM on the 128-host k=8 FatTree; -short drops to the 16-host
+// k=4 tree. The interesting numbers are the sub-benchmark ratios:
+// shards=4 should run the same simulation ≥2× faster than shards=1.
+func BenchmarkFatTreeSharded(b *testing.B) {
+	cfg := topo.DefaultFatTree()
+	cfg.K = 8
+	cfg.Name = "fattree-128"
+	horizon := 150 * sim.Microsecond
+	if testing.Short() {
+		cfg = topo.SmallFatTree()
+		horizon = 50 * sim.Microsecond
+	}
+	tp := cfg.Build()
+	tr := workload.AllToAllConfig{
+		Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.6,
+		Dist: workload.IMC10(), Horizon: horizon, Seed: 42,
+	}.Generate()
+	for _, shards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res := experiments.Run(experiments.RunSpec{
+					Protocol: experiments.DCPIM, Topo: tp, Trace: tr,
+					Horizon: horizon + horizon/2, Seed: 99, Shards: shards,
+				})
+				if res.Col.Completed() == 0 {
+					b.Fatal("no flows completed")
+				}
+			}
+		})
 	}
 }
 

@@ -10,7 +10,9 @@
 //	experiments -run all -scale 0.25      # quicker, lower-fidelity pass
 //	experiments -run fig5cd -hosts 16     # scaled-down topology
 //	experiments -run fig3a -parallel 8    # sweep probes on 8 workers
+//	experiments -run fig5cd -shards 4     # one fabric across 4 cores, byte-identical output
 //	experiments -run faults               # scripted link/switch/host faults
+//	experiments -benchjson bench/         # machine-readable substrate benchmarks
 //	experiments -run fig3a -metrics out/  # per-run CSV series + JSON reports
 //	experiments -run fig3b -cpuprofile cpu.pprof
 package main
@@ -34,11 +36,21 @@ func main() {
 		scale      = flag.Float64("scale", 1, "horizon scale factor (1 = paper fidelity)")
 		hosts      = flag.Int("hosts", 0, "topology size override (0 = paper size)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations in sweeps (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+		shards     = flag.Int("shards", 0, "split each fabric into this many barrier-synchronized shards (0/1 = serial); output is identical at any setting")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsDir = flag.String("metrics", "", "write per-run telemetry (CSV time series + JSON report) into this directory")
+		benchjson  = flag.String("benchjson", "", "run the substrate benchmark suite and write BENCH_<name>.json files into this directory, then exit")
 	)
 	flag.Parse()
+
+	if *benchjson != "" {
+		if err := experiments.WriteBenchJSON(*benchjson, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("experiments:")
@@ -74,7 +86,7 @@ func main() {
 
 	opts := experiments.Options{
 		Seed: *seed, Scale: *scale, Hosts: *hosts, Workers: *parallel,
-		MetricsDir: *metricsDir,
+		Shards: *shards, MetricsDir: *metricsDir,
 	}
 	var todo []experiments.Experiment
 	if *run == "all" {

@@ -36,7 +36,7 @@ func faultScenario(t *testing.T, seed int64, text string, drain sim.Duration) {
 	if err := sched.Validate(tp); err != nil {
 		t.Fatal(err)
 	}
-	faults.Install(eng, fab, sched)
+	faults.Install(fab, sched)
 	tr := workload.AllToAllConfig{
 		Hosts: 8, HostRate: tp.HostRate, Load: 0.3,
 		Dist: workload.IMC10(), Horizon: 300 * sim.Microsecond, Seed: seed,
@@ -110,7 +110,7 @@ func TestGeneratedFaultStorm(t *testing.T) {
 	if err := sched.Validate(tp); err != nil {
 		t.Fatal(err)
 	}
-	faults.Install(eng, fab, sched)
+	faults.Install(fab, sched)
 	tr := workload.AllToAllConfig{
 		Hosts: 8, HostRate: tp.HostRate, Load: 0.3,
 		Dist: workload.IMC10(), Horizon: horizon, Seed: 17,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/rand"
+
 	"dcpim/internal/netsim"
 	"dcpim/internal/packet"
 	"dcpim/internal/sim"
@@ -18,6 +20,7 @@ type Proto struct {
 
 	host *netsim.Host
 	eng  *sim.Engine
+	rng  *rand.Rand
 	id   int
 
 	tick  int64 // stage ticks elapsed
@@ -37,11 +40,13 @@ func New(cfg Config, col *stats.Collector) *Proto {
 }
 
 // Attach creates a dcPIM instance on every host of the fabric, all sharing
-// cfg and col, and returns them.
+// cfg, and returns them. Each instance records into col's child collector
+// for its host's shard, so completions never contend across shards; col's
+// readers merge the children deterministically.
 func Attach(fab *netsim.Fabric, cfg Config, col *stats.Collector) []*Proto {
 	protos := make([]*Proto, fab.Topology().NumHosts)
 	for i := range protos {
-		protos[i] = New(cfg, col)
+		protos[i] = New(cfg, col.ForShard(fab.ShardOfHost(i)))
 		fab.AttachProtocol(i, protos[i])
 	}
 	return protos
@@ -52,6 +57,7 @@ func Attach(fab *netsim.Fabric, cfg Config, col *stats.Collector) []*Proto {
 func (p *Proto) Start(h *netsim.Host) {
 	p.host = h
 	p.eng = h.Engine()
+	p.rng = h.Rng()
 	p.id = h.ID()
 	p.tm = deriveTiming(p.cfg, h.Topo())
 	p.snd.init(p)
@@ -59,7 +65,7 @@ func (p *Proto) Start(h *netsim.Host) {
 	p.epoch = -1 // first onStage call (tick 0) opens epoch 0
 	start := sim.Time(0)
 	if p.cfg.MaxClockSkew > 0 {
-		start = start.Add(sim.Duration(p.eng.Rand().Int63n(int64(p.cfg.MaxClockSkew))))
+		start = start.Add(sim.Duration(p.rng.Int63n(int64(p.cfg.MaxClockSkew))))
 	}
 	p.eng.Schedule(start, p.onStage)
 }

@@ -449,7 +449,7 @@ func (r *receiver) acceptStage(epoch int64, round int) {
 			return grants[i].Remaining < grants[j].Remaining
 		})
 	} else {
-		rng := r.p.eng.Rand()
+		rng := r.p.rng
 		rng.Shuffle(len(grants), func(i, j int) { grants[i], grants[j] = grants[j], grants[i] })
 	}
 	free := r.p.cfg.Channels - r.used

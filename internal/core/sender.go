@@ -348,7 +348,7 @@ func (s *sender) grantStage(epoch int64, round int) {
 			return reqs[i].Remaining < reqs[j].Remaining
 		})
 	} else {
-		rng := s.p.eng.Rand()
+		rng := s.p.rng
 		rng.Shuffle(len(reqs), func(i, j int) { reqs[i], reqs[j] = reqs[j], reqs[i] })
 	}
 	for _, r := range reqs {

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcpim/internal/netsim"
+	"dcpim/internal/packet"
+	"dcpim/internal/sim"
+	"dcpim/internal/topo"
+	"dcpim/internal/workload"
+)
+
+// Bench is one substrate benchmark in testing.Benchmark form. The suite
+// exists so cmd/experiments -benchjson can emit machine-readable perf
+// numbers (BENCH_<name>.json) without go test: CI archives them per
+// commit, giving the repo a perf trajectory instead of scrollback.
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// BenchResult is the serialized measurement of one benchmark.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// SubstrateBenches returns the perf-trajectory suite: raw fabric
+// forwarding, a full dcPIM run, and the sharded FatTree run at 1, 2 and
+// 4 shards (same seed and trace — the shardsN results measure scaling of
+// one identical simulation).
+func SubstrateBenches() []Bench {
+	benches := []Bench{
+		{"FabricForwarding", benchForwarding},
+		{"DcPIMEndToEnd", benchEndToEnd},
+	}
+	for _, shards := range []int{1, 2, 4} {
+		shards := shards
+		benches = append(benches, Bench{
+			Name: fmt.Sprintf("FatTreeSharded_shards%d", shards),
+			Fn:   func(b *testing.B) { benchFatTreeSharded(b, shards) },
+		})
+	}
+	return benches
+}
+
+// WriteBenchJSON runs every substrate benchmark and writes one
+// BENCH_<name>.json per result under dir, reporting each to w as it
+// lands.
+func WriteBenchJSON(dir string, w io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, bench := range SubstrateBenches() {
+		r := testing.Benchmark(bench.Fn)
+		res := BenchResult{
+			Name:        bench.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		path := filepath.Join(dir, "BENCH_"+bench.Name+".json")
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-28s %12.0f ns/op %8d allocs/op  -> %s\n",
+			bench.Name, res.NsPerOp, res.AllocsPerOp, path)
+	}
+	return nil
+}
+
+type nopProto struct{}
+
+func (nopProto) Start(*netsim.Host)          {}
+func (nopProto) OnFlowArrival(workload.Flow) {}
+func (nopProto) OnPacket(*packet.Packet)     {}
+
+// benchForwarding mirrors the root BenchmarkFabricForwarding: raw packets
+// through a loaded leaf-spine with a no-op protocol.
+func benchForwarding(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine(1)
+	tp := topo.SmallLeafSpine().Build()
+	fab := netsim.New(eng, tp, netsim.Config{Spray: true})
+	for i := 0; i < tp.NumHosts; i++ {
+		fab.AttachProtocol(i, nopProto{})
+	}
+	fab.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := i % 8
+		dst := (i + 1) % 8
+		fab.Host(src).Send(packet.NewData(src, dst, uint64(i), 0, packet.MTU, packet.PrioShort))
+		if (i+1)%64 == 0 {
+			eng.RunAll()
+		}
+	}
+	eng.RunAll()
+}
+
+// benchEndToEnd mirrors the root BenchmarkDcPIMEndToEnd through the Run
+// pipeline: an 8-host dcPIM simulation at load 0.6.
+func benchEndToEnd(b *testing.B) {
+	b.ReportAllocs()
+	tp := topo.SmallLeafSpine().Build()
+	tr := workload.AllToAllConfig{
+		Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.6,
+		Dist: workload.IMC10(), Horizon: 200 * sim.Microsecond, Seed: 1,
+	}.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(RunSpec{
+			Protocol: DCPIM, Topo: tp, Trace: tr,
+			Horizon: 300 * sim.Microsecond, Seed: int64(i + 1),
+		})
+	}
+}
+
+// benchFatTreeSharded runs one fixed dcPIM FatTree simulation at the
+// given shard count (the k=4 16-host tree — small enough for a CI
+// benchmarks job; the root bench_test variant covers the 128-host tree).
+func benchFatTreeSharded(b *testing.B, shards int) {
+	b.ReportAllocs()
+	tp := topo.SmallFatTree().Build()
+	horizon := 100 * sim.Microsecond
+	tr := workload.AllToAllConfig{
+		Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.6,
+		Dist: workload.IMC10(), Horizon: horizon, Seed: 42,
+	}.Generate()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(RunSpec{
+			Protocol: DCPIM, Topo: tp, Trace: tr,
+			Horizon: horizon + horizon/2, Seed: 99, Shards: shards,
+		})
+		if res.Col.Completed() == 0 {
+			b.Fatal("no flows completed")
+		}
+	}
+}

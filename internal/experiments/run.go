@@ -61,6 +61,11 @@ type Options struct {
 	// concurrently through RunMany (0 = GOMAXPROCS, 1 = serial). Results
 	// and printed output are identical at any setting.
 	Workers int
+	// Shards splits every fabric into this many barrier-synchronized
+	// shards along topology boundary links (0 or 1 = serial). Collector
+	// output, counters, digests and sampled metrics are byte-identical at
+	// any value; only wall-clock time changes. See DESIGN.md §11.
+	Shards int
 	// MetricsDir, when non-empty, enables the telemetry layer on
 	// instrumented experiments: each labeled run writes its sampled CSV
 	// series and JSON report under this directory.
@@ -77,12 +82,19 @@ func (o Options) scaled(d sim.Duration) sim.Duration {
 	return sim.Duration(float64(d) * o.Scale)
 }
 
-// workers resolves the worker-pool size for RunMany.
+// workers resolves the worker-pool size for RunMany. Each concurrent
+// simulation runs max(1, Shards) engine goroutines, so the pool is
+// divided by the shard count to keep total goroutines — workers × shards
+// — near GOMAXPROCS rather than multiplying past it.
 func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if o.Shards > 1 {
+		w = (w + o.Shards - 1) / o.Shards
+	}
+	return w
 }
 
 // metrics returns a MetricsSpec labeled for one run, or nil when the
@@ -101,6 +113,7 @@ type RunSpec struct {
 	Trace    *workload.Trace
 	Horizon  sim.Duration // total run time (trace horizon + drain)
 	Seed     int64
+	Shards   int            // fabric shard count (0 or 1 = serial)
 	BinWidth sim.Duration   // utilization series bin (0 = 10 µs)
 	DcPIM    *core.Config   // optional dcPIM parameter override
 	Fabric   *netsim.Config // optional fabric override
@@ -185,8 +198,27 @@ func (r RunResult) Completion() float64 {
 // Run executes one simulation to its horizon and collects results. The
 // protocol is resolved through the registry (protocols.MustLookup), so
 // any self-registered protocol name works here.
+//
+// Spec.Shards > 1 runs the fabric as barrier-synchronized shards, one
+// engine goroutine each; every engine carries the run seed, every device
+// a seed-derived RNG stream, so the result — records, counters, digest,
+// metrics — is the same at every shard count. Panics when the topology
+// cannot be cut into that many shards (topo.MaxShards gives the limit).
 func Run(spec RunSpec) RunResult {
-	eng := sim.NewEngine(spec.Seed)
+	n := spec.Shards
+	if n < 1 {
+		n = 1
+	}
+	engines := make([]*sim.Engine, n)
+	for i := range engines {
+		engines[i] = sim.NewEngine(spec.Seed)
+	}
+	grp := sim.NewGroup(engines)
+	defer grp.Close()
+	part, err := topo.MakePartition(spec.Topo, n)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
 	bin := spec.BinWidth
 	if bin == 0 {
 		bin = 10 * sim.Microsecond
@@ -198,7 +230,7 @@ func Run(spec RunSpec) RunResult {
 	if spec.Fabric != nil {
 		fc = *spec.Fabric
 	}
-	fab := netsim.New(eng, spec.Topo, fc)
+	fab := netsim.NewSharded(grp, spec.Topo, fc, part)
 
 	var reg *metrics.Registry
 	if spec.Metrics != nil {
@@ -215,35 +247,55 @@ func Run(spec RunSpec) RunResult {
 		ProtoConfig: protoCfg,
 	})
 
-	var digest uint64
+	// The digest folds each host's delivered-packet stream separately —
+	// deliveries for one host all run on its shard's engine, so the
+	// per-host fold is race-free and ordered by simulation time — then
+	// combines the host digests in host-id order at the end. Both levels
+	// are independent of shard count.
+	var hostDigests []uint64
 	if spec.Digest {
-		digest = fnvOffset
+		hostDigests = make([]uint64, spec.Topo.NumHosts)
+		for i := range hostDigests {
+			hostDigests[i] = fnvOffset
+		}
 		fab.AddObserver(netsim.ObserverFuncs{
 			Delivered: func(host int, p *packet.Packet) {
-				digest = fnvMix(digest, uint64(eng.Now()))
-				digest = fnvMix(digest, uint64(host))
-				digest = fnvMix(digest, uint64(p.Kind)<<32|uint64(uint32(p.Size)))
-				digest = fnvMix(digest, uint64(uint32(p.Src))<<32|uint64(uint32(p.Dst)))
-				digest = fnvMix(digest, p.Flow)
-				digest = fnvMix(digest, uint64(p.Seq))
+				d := hostDigests[host]
+				d = fnvMix(d, uint64(fab.HostEngine(host).Now()))
+				d = fnvMix(d, uint64(host))
+				d = fnvMix(d, uint64(p.Kind)<<32|uint64(uint32(p.Size)))
+				d = fnvMix(d, uint64(uint32(p.Src))<<32|uint64(uint32(p.Dst)))
+				d = fnvMix(d, p.Flow)
+				d = fnvMix(d, uint64(p.Seq))
+				hostDigests[host] = d
 			},
 		})
 	}
 	if spec.Faults != nil {
-		faults.Install(eng, fab, spec.Faults)
+		faults.Install(fab, spec.Faults)
 	}
 	// The sampler freezes its column set at construction: build it after
-	// every instrument is registered (fabric + protocol), start it before
-	// the run so the first snapshot lands at t=0.
+	// every instrument is registered (fabric + protocol). It is driven
+	// from barrier sync points (never engine ticks), so sampled series
+	// match at every shard count; the first snapshot lands at t=0.
 	var smp *metrics.Sampler
+	interval := sim.Duration(0)
 	if spec.Metrics != nil {
-		smp = metrics.NewSampler(eng, reg, spec.Metrics.sampleInterval(spec.Horizon))
+		interval = spec.Metrics.sampleInterval(spec.Horizon)
+		smp = metrics.NewSampler(engines[0], reg, interval)
 	}
 	fab.Start()
-	smp.Start()
 	fab.Inject(spec.Trace)
-	eng.Run(sim.Time(spec.Horizon))
+	smp.SampleAt(0)
+	fab.RunSynced(sim.Time(spec.Horizon), interval, smp.SampleAt)
 
+	var digest uint64
+	if spec.Digest {
+		digest = fnvOffset
+		for _, d := range hostDigests {
+			digest = fnvMix(digest, d)
+		}
+	}
 	res := RunResult{
 		Digest:   digest,
 		Protocol: spec.Protocol,

@@ -1,13 +1,18 @@
 package experiments
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
 // RunMany executes the given runs on a pool of workers goroutines and
-// returns their results in input order. workers <= 1 (or a single spec)
-// degenerates to the plain serial loop.
+// returns their results in input order. workers <= 0 means one worker
+// per CPU (runtime.GOMAXPROCS(0)); workers == 1 (or a single spec) is
+// the plain serial loop. Each run itself uses max(1, RunSpec.Shards)
+// goroutines, so a sweep of sharded specs runs up to workers × shards
+// goroutines — Options.workers divides the pool by the shard count to
+// keep that product near GOMAXPROCS.
 //
 // Determinism contract: every simulation is hermetic — it owns its engine,
 // RNG, fabric and collector, all seeded from the spec alone — so each
@@ -21,6 +26,9 @@ import (
 // serial run at any worker count.
 func RunMany(specs []RunSpec, workers int) []RunResult {
 	results := make([]RunResult, len(specs))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(specs) {
 		workers = len(specs)
 	}

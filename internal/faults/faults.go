@@ -1,9 +1,10 @@
 // Package faults provides deterministic, scripted fault injection for the
 // netsim fabric. A Schedule is a timeline of typed events — link flaps,
 // degraded links, loss bursts, switch reboots, host pauses — installed
-// onto a sim.Engine as ordinary timers, so a faulted run is exactly as
-// hermetic and reproducible as a clean one: byte-identical under
-// experiments.RunMany at any worker count.
+// as ordinary timers on the engines owning the affected devices, so a
+// faulted run is exactly as hermetic and reproducible as a clean one:
+// byte-identical under experiments.RunMany at any worker count and at
+// any fabric shard count.
 //
 // Schedules come from three places: literal Go values (tests), the text
 // format parsed by ParseSchedule (experiment scripts), and the seeded
@@ -181,23 +182,70 @@ func (ev *Event) end() (sim.Time, bool) {
 	return 0, false
 }
 
-// Install schedules the fault timeline onto the engine. Must be called
+// Install schedules the fault timeline onto the fabric. Must be called
 // before the clock passes the earliest event (normally before the run
 // starts); the schedule must outlive the run and not be mutated after.
-func Install(eng *sim.Engine, fab *netsim.Fabric, s *Schedule) {
+//
+// Each fault action mutates one device, and devices belong to shards, so
+// the installer schedules every action on the engine that owns the
+// affected device: a link event becomes two timers — the named transmit
+// side on its switch's engine, the reverse side on the peer's — which on
+// a sharded fabric may be different engines. Both fire at the same
+// simulation instant, and the two sides of a link never race (each timer
+// touches only its own side), so faulted runs stay byte-identical at
+// every shard count.
+func Install(fab *netsim.Fabric, s *Schedule) {
 	for i := range s.Events {
 		ev := &s.Events[i]
-		eng.ScheduleFunc(ev.At, applyStart, fab, ev, 0)
-		if end, ok := ev.end(); ok {
-			eng.ScheduleFunc(end, applyEnd, fab, ev, 0)
+		installSide(fab, ev, sideNamed)
+		switch ev.Kind {
+		case LinkDown, LinkUp, LinkDegrade, LossBurst:
+			installSide(fab, ev, sideReverse)
 		}
 	}
 }
 
-// setLinkDown applies down state to both directions of the link whose
+// Sides of a link event, carried in the timer's int payload.
+const (
+	sideNamed   = 0 // the (Switch, Port) transmit side the event names
+	sideReverse = 1 // the opposite direction, resolved via the topology
+)
+
+// installSide schedules one side's start (and restore, if any) timers on
+// the engine owning that side's device.
+func installSide(fab *netsim.Fabric, ev *Event, side int) {
+	eng := sideEngine(fab, ev, side)
+	eng.ScheduleFunc(ev.At, applyStart, fab, ev, side)
+	if end, ok := ev.end(); ok {
+		eng.ScheduleFunc(end, applyEnd, fab, ev, side)
+	}
+}
+
+// sideEngine returns the engine owning the device a side's action mutates.
+func sideEngine(fab *netsim.Fabric, ev *Event, side int) *sim.Engine {
+	switch ev.Kind {
+	case SwitchReboot:
+		return fab.SwitchEngine(ev.Switch)
+	case HostPause:
+		return fab.HostEngine(ev.Host)
+	}
+	if side == sideNamed {
+		return fab.SwitchEngine(ev.Switch)
+	}
+	spec := fab.Topology().Switches[ev.Switch].Ports[ev.Port]
+	if spec.ToHost {
+		return fab.HostEngine(spec.Peer)
+	}
+	return fab.SwitchEngine(spec.Peer)
+}
+
+// setLinkDown applies down state to one direction of the link whose
 // transmit side is (Switch, Port).
-func setLinkDown(fab *netsim.Fabric, ev *Event, down bool) {
-	fab.SetLinkDown(ev.Switch, ev.Port, down)
+func setLinkDown(fab *netsim.Fabric, ev *Event, side int, down bool) {
+	if side == sideNamed {
+		fab.SetLinkDown(ev.Switch, ev.Port, down)
+		return
+	}
 	spec := fab.Topology().Switches[ev.Switch].Ports[ev.Port]
 	if spec.ToHost {
 		fab.SetHostDown(spec.Peer, down)
@@ -206,9 +254,12 @@ func setLinkDown(fab *netsim.Fabric, ev *Event, down bool) {
 	}
 }
 
-// setLinkLoss applies a persistent loss rate to both directions.
-func setLinkLoss(fab *netsim.Fabric, ev *Event, rate float64) {
-	fab.SetLinkLossRate(ev.Switch, ev.Port, rate)
+// setLinkLoss applies a persistent loss rate to one direction.
+func setLinkLoss(fab *netsim.Fabric, ev *Event, side int, rate float64) {
+	if side == sideNamed {
+		fab.SetLinkLossRate(ev.Switch, ev.Port, rate)
+		return
+	}
 	spec := fab.Topology().Switches[ev.Switch].Ports[ev.Port]
 	if spec.ToHost {
 		fab.SetHostLossRate(spec.Peer, rate)
@@ -217,19 +268,23 @@ func setLinkLoss(fab *netsim.Fabric, ev *Event, rate float64) {
 	}
 }
 
-// applyStart fires at Event.At.
-func applyStart(a, b any, _ int) {
+// applyStart fires at Event.At on the owning shard's engine; side selects
+// which direction of a link event this timer applies.
+func applyStart(a, b any, side int) {
 	fab, ev := a.(*netsim.Fabric), b.(*Event)
 	switch ev.Kind {
 	case LinkDown:
-		setLinkDown(fab, ev, true)
+		setLinkDown(fab, ev, side, true)
 	case LinkUp:
-		setLinkDown(fab, ev, false)
+		setLinkDown(fab, ev, side, false)
 	case LinkDegrade:
-		setLinkLoss(fab, ev, ev.Rate)
+		setLinkLoss(fab, ev, side, ev.Rate)
 	case LossBurst:
 		until := ev.At.Add(ev.Dur)
-		fab.SetLossBurst(ev.Switch, ev.Port, until, ev.Rate)
+		if side == sideNamed {
+			fab.SetLossBurst(ev.Switch, ev.Port, until, ev.Rate)
+			return
+		}
 		spec := fab.Topology().Switches[ev.Switch].Ports[ev.Port]
 		if spec.ToHost {
 			fab.SetHostLossBurst(spec.Peer, until, ev.Rate)
@@ -244,13 +299,13 @@ func applyStart(a, b any, _ int) {
 }
 
 // applyEnd fires at the event's restore time (see Event.end).
-func applyEnd(a, b any, _ int) {
+func applyEnd(a, b any, side int) {
 	fab, ev := a.(*netsim.Fabric), b.(*Event)
 	switch ev.Kind {
 	case LinkDown:
-		setLinkDown(fab, ev, false)
+		setLinkDown(fab, ev, side, false)
 	case LinkDegrade:
-		setLinkLoss(fab, ev, 0)
+		setLinkLoss(fab, ev, side, 0)
 	case SwitchReboot:
 		fab.RestoreSwitch(ev.Switch)
 	case HostPause:

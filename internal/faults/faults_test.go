@@ -150,7 +150,7 @@ hostpause host=5 at=70us dur=5us
 	if err := s.Validate(tp); err != nil {
 		t.Fatal(err)
 	}
-	Install(eng, fab, s)
+	Install(fab, s)
 
 	us := func(x int64) sim.Time { return sim.Time(x) * sim.Time(sim.Microsecond) }
 	expect := func(at sim.Time, fn func() bool, desc string) {

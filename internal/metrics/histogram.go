@@ -1,6 +1,9 @@
 package metrics
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Histogram accumulates float64 observations into logarithmically-spaced
 // buckets (the DDSketch layout): bucket i covers (γ^(i-1), γ^i] with
@@ -14,13 +17,21 @@ import "math"
 // zeros bucket and are reported as the observed minimum. Exact min, max,
 // count and sum are tracked alongside, and quantile estimates are clamped
 // to [min, max].
+//
+// Observe locks, so shards of a sharded run may feed one histogram
+// concurrently. The running sum is fixed point (1/4096 resolution):
+// integer addition commutes, so the end-of-run mean is bit-identical no
+// matter how shard observations interleave — a float sum would pick up
+// rounding differences from the addition order. Counts, min and max are
+// order-independent by nature.
 type Histogram struct {
 	name        string
 	gamma       float64
 	invLogGamma float64
 
+	mu    sync.Mutex
 	count int64
-	sum   float64
+	sumFP int64 // Σ round(v·histogramSumScale)
 	min   float64
 	max   float64
 
@@ -31,6 +42,11 @@ type Histogram struct {
 
 // histogramAlpha is the relative-accuracy guarantee of the log buckets.
 const histogramAlpha = 0.04
+
+// histogramSumScale is the fixed-point resolution of the running sum:
+// 2^12 keeps the mean's quantization (≤ 1/8192 per observation) far
+// below the 4% bucket error while leaving 50 bits of integer headroom.
+const histogramSumScale = 1 << 12
 
 func newHistogram(name string) *Histogram {
 	gamma := (1 + histogramAlpha) / (1 - histogramAlpha)
@@ -46,6 +62,8 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		h.min, h.max = v, v
 	} else {
@@ -57,7 +75,7 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 	h.count++
-	h.sum += v
+	h.sumFP += int64(math.Round(v * histogramSumScale))
 	if v <= 0 {
 		h.zeros++
 		return
@@ -88,20 +106,33 @@ func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.count
 }
 
-// Mean returns the exact arithmetic mean (0 when empty or nil).
+// Mean returns the arithmetic mean at the sum's 1/4096 fixed-point
+// resolution (0 when empty or nil).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sumFP) / histogramSumScale / float64(h.count)
 }
 
 // Min returns the exact minimum observation (0 when empty or nil).
 func (h *Histogram) Min() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
 		return 0
 	}
 	return h.min
@@ -109,7 +140,12 @@ func (h *Histogram) Min() float64 {
 
 // Max returns the exact maximum observation (0 when empty or nil).
 func (h *Histogram) Max() float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
 		return 0
 	}
 	return h.max
@@ -118,7 +154,16 @@ func (h *Histogram) Max() float64 {
 // Quantile estimates the p-quantile (p in [0,1], clamped) with relative
 // error ≤ 4%. Returns 0 when empty or nil.
 func (h *Histogram) Quantile(p float64) float64 {
-	if h == nil || h.count == 0 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(p)
+}
+
+func (h *Histogram) quantileLocked(p float64) float64 {
+	if h.count == 0 {
 		return 0
 	}
 	if p < 0 {
@@ -183,14 +228,15 @@ func (h *Histogram) Summary() HistogramSummary {
 	if h == nil {
 		return HistogramSummary{}
 	}
-	return HistogramSummary{
-		Name:  h.name,
-		Count: h.count,
-		Min:   h.Min(),
-		Max:   h.Max(),
-		Mean:  h.Mean(),
-		P50:   h.P50(),
-		P99:   h.P99(),
-		P999:  h.P999(),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSummary{Name: h.name, Count: h.count}
+	if h.count > 0 {
+		s.Min, s.Max = h.min, h.max
+		s.Mean = float64(h.sumFP) / histogramSumScale / float64(h.count)
 	}
+	s.P50 = h.quantileLocked(0.50)
+	s.P99 = h.quantileLocked(0.99)
+	s.P999 = h.quantileLocked(0.999)
+	return s
 }

@@ -14,19 +14,30 @@
 //     sampled on the simulation clock, never wall clock, and the
 //     registry is per-run (no globals), so sampled series are
 //     byte-identical between serial and parallel executions of the same
-//     seed. Aggregations use int64 or fixed-order slices; nothing sums
-//     floats over Go map iteration, whose order is randomized.
+//     seed — and between shard counts of a sharded run. Aggregations use
+//     int64 or fixed-order slices; nothing sums floats over Go map
+//     iteration, whose order is randomized, and Histogram keeps its sum
+//     in fixed point so concurrent shard updates commute exactly.
 //
-// A Registry is not safe for concurrent use: one registry belongs to one
-// simulation run, which is single-threaded by construction.
+// Registration (Counter, Gauge, GaugeFunc, Histogram) is setup-time and
+// single-threaded. Instrument updates are shard-safe: Counter and Gauge
+// are atomic and Histogram locks, so sharded fabrics may update them
+// from concurrent engine goroutines. Sampling and summarizing must
+// happen between epochs (the Sampler is driven from barrier sync
+// points).
 package metrics
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
-// Counter is a monotonically-increasing int64 instrument.
+// Counter is a monotonically-increasing int64 instrument. Updates are
+// atomic: counters accumulate from every shard of a sharded run, and
+// addition commutes, so totals are deterministic.
 type Counter struct {
 	name string
-	v    int64
+	v    atomic.Int64
 }
 
 // Add increments the counter. No-op on a nil receiver.
@@ -34,7 +45,7 @@ func (c *Counter) Add(n int64) {
 	if c == nil {
 		return
 	}
-	c.v += n
+	c.v.Add(n)
 }
 
 // Inc adds one. No-op on a nil receiver.
@@ -42,7 +53,7 @@ func (c *Counter) Inc() {
 	if c == nil {
 		return
 	}
-	c.v++
+	c.v.Add(1)
 }
 
 // Value returns the current count (0 for a nil receiver).
@@ -50,15 +61,17 @@ func (c *Counter) Value() int64 {
 	if c == nil {
 		return 0
 	}
-	return c.v
+	return c.v.Load()
 }
 
 // Gauge is an instantaneous int64 instrument (queue depth, window
-// occupancy). Updated incrementally from events so sampling it is a plain
-// read.
+// occupancy). Updated incrementally from events so sampling it is a
+// plain read. Updates are atomic; a gauge should nonetheless be owned by
+// one shard's devices (Set from two shards is a last-writer race the
+// sampler would surface).
 type Gauge struct {
 	name string
-	v    int64
+	v    atomic.Int64
 }
 
 // Set replaces the gauge value. No-op on a nil receiver.
@@ -66,7 +79,7 @@ func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
 	}
-	g.v = v
+	g.v.Store(v)
 }
 
 // Add moves the gauge by n (use a negative n to decrease). No-op on a
@@ -75,7 +88,7 @@ func (g *Gauge) Add(n int64) {
 	if g == nil {
 		return
 	}
-	g.v += n
+	g.v.Add(n)
 }
 
 // Value returns the current value (0 for a nil receiver).
@@ -83,7 +96,7 @@ func (g *Gauge) Value() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.v
+	return g.v.Load()
 }
 
 // Registry holds one run's instruments, keyed by slash-separated names
@@ -176,7 +189,7 @@ func (r *Registry) CounterValues() []NameValue {
 	}
 	out := make([]NameValue, 0, len(r.counters))
 	for _, c := range r.counters {
-		out = append(out, NameValue{c.name, float64(c.v)})
+		out = append(out, NameValue{c.name, float64(c.Value())})
 	}
 	sortByName(out)
 	return out
@@ -190,7 +203,7 @@ func (r *Registry) GaugeValues() []NameValue {
 	}
 	out := make([]NameValue, 0, len(r.gauges)+len(r.funcs))
 	for _, g := range r.gauges {
-		out = append(out, NameValue{g.name, float64(g.v)})
+		out = append(out, NameValue{g.name, float64(g.Value())})
 	}
 	for _, f := range r.funcs {
 		out = append(out, NameValue{f.name, f.fn()})
@@ -227,11 +240,11 @@ func (r *Registry) columns() []column {
 	cols := make([]column, 0, len(r.counters)+len(r.gauges)+len(r.funcs))
 	for _, c := range r.counters {
 		c := c
-		cols = append(cols, column{c.name, func() float64 { return float64(c.v) }})
+		cols = append(cols, column{c.name, func() float64 { return float64(c.Value()) }})
 	}
 	for _, g := range r.gauges {
 		g := g
-		cols = append(cols, column{g.name, func() float64 { return float64(g.v) }})
+		cols = append(cols, column{g.name, func() float64 { return float64(g.Value()) }})
 	}
 	for _, f := range r.funcs {
 		cols = append(cols, column{f.name, f.fn})

@@ -41,8 +41,14 @@ func NewSampler(eng *sim.Engine, reg *Registry, interval sim.Duration) *Sampler 
 }
 
 // Start takes the first snapshot at the current simulation time and
-// schedules the rest. Call after all instruments are registered and
-// before running the engine. No-op on a nil receiver or second call.
+// schedules the rest as self-rescheduling engine events. Call after all
+// instruments are registered and before running the engine. No-op on a
+// nil receiver or second call.
+//
+// Sharded runs must NOT Start the sampler: its ticks would run on one
+// shard's engine while other shards mutate instruments. Drive it with
+// SampleAt from barrier sync points instead (netsim.Fabric.RunSynced),
+// which also works single-shard and produces the same rows.
 func (s *Sampler) Start() {
 	if s == nil || s.started {
 		return
@@ -52,13 +58,24 @@ func (s *Sampler) Start() {
 }
 
 func (s *Sampler) tick() {
+	s.SampleAt(s.eng.Now())
+	s.eng.After(s.interval, s.tick)
+}
+
+// SampleAt takes one snapshot stamped with time t. Callers sample at
+// deterministic simulation times with all shards quiescent — between
+// epochs — so the recorded series is identical at every shard count.
+// No-op on a nil receiver.
+func (s *Sampler) SampleAt(t sim.Time) {
+	if s == nil {
+		return
+	}
 	row := make([]float64, len(s.cols))
 	for i := range s.cols {
 		row[i] = s.cols[i].read()
 	}
-	s.times = append(s.times, s.eng.Now())
+	s.times = append(s.times, t)
 	s.rows = append(s.rows, row)
-	s.eng.After(s.interval, s.tick)
 }
 
 // Len returns the number of snapshots taken (0 for nil).

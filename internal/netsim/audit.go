@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"dcpim/internal/packet"
 )
@@ -19,7 +20,13 @@ import (
 // switches, degraded links), and a site that forgets to release — or
 // releases twice — would silently corrupt concurrent simulations sharing
 // the pool.
+// The mutex makes the auditor safe under sharded execution, where
+// observer callbacks fire concurrently from shard goroutines. Tallies
+// and set membership are commutative, so the audit verdict is still
+// deterministic; only the recording order of errs can vary, and then
+// only in runs that already have bugs.
 type auditor struct {
+	mu        sync.Mutex
 	live      map[*packet.Packet]struct{}
 	injected  int64
 	delivered int64
@@ -52,6 +59,8 @@ func (a *auditor) PacketDropped(p *packet.Packet) { a.drop(p) }
 func (a *auditor) PacketTrimmed(*packet.Packet) {}
 
 func (a *auditor) inject(p *packet.Packet) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if _, ok := a.live[p]; ok {
 		a.fail("audit: packet injected while fabric still owns it (double-inject or premature Release): %v", p)
 		return
@@ -61,6 +70,8 @@ func (a *auditor) inject(p *packet.Packet) {
 }
 
 func (a *auditor) deliver(p *packet.Packet) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if _, ok := a.live[p]; !ok {
 		a.fail("audit: delivered packet the fabric does not own (double-free): %v", p)
 		return
@@ -70,6 +81,8 @@ func (a *auditor) deliver(p *packet.Packet) {
 }
 
 func (a *auditor) drop(p *packet.Packet) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if _, ok := a.live[p]; !ok {
 		a.fail("audit: dropped packet the fabric does not own (double-free): %v", p)
 		return
@@ -123,6 +136,7 @@ func (f *Fabric) AuditVerify() []string {
 	if a == nil {
 		return nil
 	}
+	f.mergeCounters()
 	var queued int64
 	for _, h := range f.hosts {
 		queued += h.nic.auditQueued(a)

@@ -5,8 +5,11 @@ import "dcpim/internal/sim"
 // Fault-injection control surface. These methods flip per-port and
 // per-switch fault state; internal/faults drives them from a scripted
 // Schedule via sim timers, but tests may call them directly. All fault
-// behaviour is deterministic: loss draws come from the engine's seeded
-// Rand, and state flips happen at scheduled event times.
+// behaviour is deterministic: loss draws come from each device's seeded
+// stream, and state flips happen at scheduled event times. In a sharded
+// fabric each method touches exactly one device, so it must run as an
+// event on that device's engine (SwitchEngine/HostEngine) — the faults
+// package schedules the two sides of a link fault separately.
 
 // SetLinkDown halts (down=true) or restores the transmitter of switch
 // sw's output port pt. While down, queued packets stay buffered (overflow
@@ -105,7 +108,7 @@ func (d *swDev) drainQueues() {
 				d.ingressBytes[el.in] -= int64(el.p.Size)
 				d.checkResume(el.in)
 			}
-			d.fab.Counters.FaultDrops++
+			d.sh.counters.FaultDrops++
 			d.fab.dropped(el.p)
 		}
 	}

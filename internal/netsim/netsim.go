@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"dcpim/internal/packet"
 	"dcpim/internal/sim"
@@ -97,13 +98,24 @@ type Protocol interface {
 
 // Fabric is an instantiated network: topology + devices + configuration.
 type Fabric struct {
-	eng  *sim.Engine
+	eng  *sim.Engine // shard 0's engine (the only one when single-shard)
 	topo *topo.Topology
 	cfg  Config
+
+	// Sharded execution state (see shard.go). A fabric built with New has
+	// one shard whose engine is eng and whose counters alias Counters, so
+	// the serial path is unchanged.
+	grp       *sim.Group
+	part      *topo.Partition
+	shards    []*shardState
+	lookahead sim.Duration
 
 	hosts    []*Host
 	switches []*swDev
 
+	// Counters aggregates across shards. Always current single-shard;
+	// with several shards it is recomputed at every barrier and when Run
+	// returns, so read it between runs, not from inside event callbacks.
 	Counters Counters
 
 	// audit, when non-nil, tracks every packet the fabric owns and flags
@@ -118,9 +130,27 @@ type Fabric struct {
 	obs []Observer
 }
 
-// New builds a fabric over the topology. Protocols are attached afterwards
-// with AttachProtocol (every host must have one before Run).
+// New builds a single-shard fabric over the topology: everything runs on
+// eng and callers drive it with eng.Run as before. Protocols are attached
+// afterwards with AttachProtocol (every host must have one before Run).
 func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Fabric {
+	part, err := topo.MakePartition(t, 1)
+	if err != nil {
+		panic(err)
+	}
+	return NewSharded(sim.NewGroup([]*sim.Engine{eng}), t, cfg, part)
+}
+
+// NewSharded builds a fabric split across the group's engines according
+// to the partition (one engine per shard; every engine must carry the
+// same seed, which also seeds the per-device random streams). Drive it
+// with Fabric.Run or RunSynced — never a member engine's Run directly —
+// and close the group when done. Output is byte-identical to the same
+// seed on any other shard count.
+func NewSharded(grp *sim.Group, t *topo.Topology, cfg Config, part *topo.Partition) *Fabric {
+	if grp.N() != part.NumShards {
+		panic(fmt.Sprintf("netsim: %d engines for %d shards", grp.N(), part.NumShards))
+	}
 	if cfg.PortBufferBytes == 0 {
 		cfg.PortBufferBytes = DefaultPortBuffer
 	}
@@ -135,19 +165,39 @@ func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Fabric {
 			cfg.PFCResume = cfg.PFCPause / 2
 		}
 	}
-	f := &Fabric{eng: eng, topo: t, cfg: cfg}
+	f := &Fabric{
+		eng: grp.Engine(0), topo: t, cfg: cfg,
+		grp: grp, part: part, lookahead: part.Lookahead,
+	}
+	n := grp.N()
+	seed := f.eng.Seed()
+	for i := 0; i < n; i++ {
+		s := &shardState{id: i, eng: grp.Engine(i)}
+		if n == 1 {
+			s.counters = &f.Counters
+		} else {
+			s.counters = new(Counters)
+			s.out = make([][]stagedArrival, n)
+		}
+		f.shards = append(f.shards, s)
+	}
 	if cfg.Audit {
 		f.EnableAudit()
 	}
 
 	f.switches = make([]*swDev, len(t.Switches))
 	for i, sw := range t.Switches {
-		d := &swDev{fab: f, spec: sw}
+		sh := f.shards[part.SwitchShard[i]]
+		d := &swDev{
+			fab: f, spec: sw, sh: sh,
+			rng: rand.New(rand.NewSource(deviceSeed(seed, 1, i))),
+		}
 		d.ports = make([]*outPort, len(sw.Ports))
 		d.ingressBytes = make([]int64, len(sw.Ports)+1)
 		for pi, p := range sw.Ports {
 			d.ports[pi] = &outPort{
-				fab: f, rate: p.Rate, delay: p.Delay,
+				fab: f, sh: sh, rng: d.rng,
+				rate: p.Rate, delay: p.Delay,
 				capacity: cfg.PortBufferBytes,
 				owner:    d, ownerPort: pi,
 			}
@@ -157,13 +207,40 @@ func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Fabric {
 	f.hosts = make([]*Host, t.NumHosts)
 	for h := 0; h < t.NumHosts; h++ {
 		up := t.HostLink
-		host := &Host{id: h, fab: f}
+		sh := f.shards[part.HostShard[h]]
+		host := &Host{
+			id: h, fab: f, sh: sh,
+			rng: rand.New(rand.NewSource(deviceSeed(seed, 2, h))),
+		}
 		host.nic = &outPort{
-			fab: f, rate: up.Rate, delay: up.Delay,
+			fab: f, sh: sh, rng: host.rng,
+			rate: up.Rate, delay: up.Delay,
 			capacity: cfg.HostQueueBytes,
 			hostNIC:  host,
 		}
 		f.hosts[h] = host
+	}
+
+	// Wire boundary egress: directed boundary links get stable ids in
+	// (switch, port) order, and each boundary port learns its peer so
+	// tryTransmit can schedule the fused forward event — intra-shard via
+	// its own engine's arrival band, cross-shard via staging.
+	var linkID uint64
+	for _, sw := range t.Switches {
+		for pi, p := range sw.Ports {
+			if p.ToHost || !p.Boundary {
+				continue
+			}
+			o := f.switches[sw.ID].ports[pi]
+			o.boundary = true
+			o.linkID = linkID
+			o.peerSw = f.switches[p.Peer]
+			o.peerIn = p.PeerPort
+			linkID++
+		}
+	}
+	if linkID >= maxBoundaryLinks {
+		panic("netsim: too many boundary links for the arrival-band key space")
 	}
 	return f
 }
@@ -193,12 +270,14 @@ func (f *Fabric) Start() {
 }
 
 // Inject schedules every flow of the trace as an arrival event at its
-// sender.
+// sender, on the sender's shard. Trace order within a shard is preserved,
+// so arrivals tie-break identically at every shard count.
 func (f *Fabric) Inject(tr *workload.Trace) {
 	for _, fl := range tr.Flows {
 		fl := fl
-		f.eng.Schedule(fl.Arrival, func() {
-			f.hosts[fl.Src].proto.OnFlowArrival(fl)
+		h := f.hosts[fl.Src]
+		h.sh.eng.Schedule(fl.Arrival, func() {
+			h.proto.OnFlowArrival(fl)
 		})
 	}
 }
@@ -207,6 +286,8 @@ func (f *Fabric) Inject(tr *workload.Trace) {
 type Host struct {
 	id    int
 	fab   *Fabric
+	sh    *shardState
+	rng   *rand.Rand
 	proto Protocol
 	nic   *outPort
 }
@@ -214,8 +295,16 @@ type Host struct {
 // ID returns the host id.
 func (h *Host) ID() int { return h.id }
 
-// Engine returns the shared event engine.
-func (h *Host) Engine() *sim.Engine { return h.fab.eng }
+// Engine returns the engine this host's events run on (the shard's
+// engine; the fabric-wide engine when single-shard). Protocols must
+// schedule all their timers here.
+func (h *Host) Engine() *sim.Engine { return h.sh.eng }
+
+// Rng returns the host's private deterministic random stream. Protocols
+// must draw here rather than from Engine().Rand(): per-host streams make
+// draw sequences independent of cross-host event interleaving, which
+// sharded execution requires.
+func (h *Host) Rng() *rand.Rand { return h.rng }
 
 // Topo returns the topology (for RTT/BDP math in protocols).
 func (h *Host) Topo() *topo.Topology { return h.fab.topo }
@@ -233,11 +322,11 @@ func (h *Host) Send(p *packet.Packet) {
 	if p.Src != h.id {
 		panic("netsim: packet Src does not match sending host")
 	}
-	p.SentAt = h.fab.eng.Now()
+	p.SentAt = h.sh.eng.Now()
 	for _, o := range h.fab.obs {
 		o.PacketInjected(h.id, p)
 	}
-	h.fab.eng.AfterFunc(h.fab.topo.HostDelay, hostEnqueue, h, p, 0)
+	h.sh.eng.AfterFunc(h.fab.topo.HostDelay, hostEnqueue, h, p, 0)
 }
 
 func hostEnqueue(a, b any, _ int) {
@@ -246,7 +335,7 @@ func hostEnqueue(a, b any, _ int) {
 
 // deliver passes a packet up the receive stack to the protocol.
 func (h *Host) deliver(p *packet.Packet) {
-	h.fab.eng.AfterFunc(h.fab.topo.HostDelay, hostDeliver, h, p, 0)
+	h.sh.eng.AfterFunc(h.fab.topo.HostDelay, hostDeliver, h, p, 0)
 }
 
 // hostDeliver is the fabric's delivery point and one of its two packet
@@ -256,10 +345,10 @@ func hostDeliver(a, b any, _ int) {
 	h := a.(*Host)
 	p := b.(*packet.Packet)
 	if p.Kind == packet.Data {
-		h.fab.Counters.DeliveredData++
-		h.fab.Counters.DeliveredBytes += int64(p.Size)
+		h.sh.counters.DeliveredData++
+		h.sh.counters.DeliveredBytes += int64(p.Size)
 	} else {
-		h.fab.Counters.DeliveredCtrl++
+		h.sh.counters.DeliveredCtrl++
 	}
 	for _, o := range h.fab.obs {
 		o.PacketDelivered(h.id, p)
@@ -272,6 +361,8 @@ func hostDeliver(a, b any, _ int) {
 type swDev struct {
 	fab   *Fabric
 	spec  *topo.Switch
+	sh    *shardState
+	rng   *rand.Rand // private stream for spraying and fault draws
 	ports []*outPort
 
 	// down marks a rebooting switch: arrivals are discarded (FaultDrops)
@@ -290,7 +381,7 @@ type swDev struct {
 // (-1 for host-attached arrivals; those are accounted per their host
 // port). Processing latency is applied before enqueueing.
 func (d *swDev) receive(p *packet.Packet, in int) {
-	d.fab.eng.AfterFunc(d.fab.topo.SwitchDelay, swForward, d, p, in)
+	d.sh.eng.AfterFunc(d.fab.topo.SwitchDelay, swForward, d, p, in)
 }
 
 func swForward(a, b any, in int) {
@@ -302,7 +393,7 @@ func (d *swDev) forward(p *packet.Packet, in int) {
 		panic("netsim: packet to unknown host")
 	}
 	if d.down {
-		d.fab.Counters.FaultDrops++
+		d.sh.counters.FaultDrops++
 		d.fab.dropped(p)
 		return
 	}
@@ -312,7 +403,7 @@ func (d *swDev) forward(p *packet.Packet, in int) {
 	case len(cands) == 1:
 		pi = cands[0]
 	case d.fab.cfg.Spray:
-		pi = cands[d.fab.eng.Rand().Intn(len(cands))]
+		pi = cands[d.rng.Intn(len(cands))]
 	default:
 		pi = cands[ecmpHash(p.Flow, p.Src, p.Dst)%uint64(len(cands))]
 	}

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math/rand"
+
 	"dcpim/internal/packet"
 	"dcpim/internal/sim"
 )
@@ -19,6 +21,8 @@ type queued struct {
 // (hostNIC set).
 type outPort struct {
 	fab      *Fabric
+	sh       *shardState // owning device's shard
+	rng      *rand.Rand  // owning device's private stream (fault draws)
 	rate     float64
 	delay    sim.Duration
 	capacity int64
@@ -43,21 +47,33 @@ type outPort struct {
 	lossRate   float64
 	burstRate  float64
 	burstUntil sim.Time
+
+	// Boundary egress (switch↔switch links marked topo.Port.Boundary):
+	// delivery is fused into a single arrival-band event — the forward at
+	// the peer switch, scheduled tx+delay+SwitchDelay ahead with a key
+	// built from the directed link id and a per-link sequence, so its
+	// execution order is identical at every shard count. Data and PFC
+	// frames on the same directed link share arrSeq.
+	boundary bool
+	linkID   uint64
+	arrSeq   uint64
+	peerSw   *swDev
+	peerIn   int
 }
 
 // faultDrop applies injected link faults (degrade / loss burst) at enqueue
 // time and reports whether the packet was consumed. Faulty links draw from
-// the engine's seeded Rand, so runs stay deterministic; clean links draw
-// nothing.
+// the owning device's seeded stream, so runs stay deterministic at any
+// shard count; clean links draw nothing.
 func (o *outPort) faultDrop(p *packet.Packet) bool {
 	r := o.lossRate
-	if o.burstRate > r && o.fab.eng.Now() < o.burstUntil {
+	if o.burstRate > r && o.sh.eng.Now() < o.burstUntil {
 		r = o.burstRate
 	}
-	if r <= 0 || o.fab.eng.Rand().Float64() >= r {
+	if r <= 0 || o.rng.Float64() >= r {
 		return false
 	}
-	o.fab.Counters.FaultDrops++
+	o.sh.counters.FaultDrops++
 	o.fab.dropped(p)
 	return true
 }
@@ -69,7 +85,7 @@ func (o *outPort) enqueue(p *packet.Packet) {
 		return
 	}
 	if o.queuedBytes+int64(p.Size) > o.capacity {
-		o.fab.Counters.HostDrops++
+		o.sh.counters.HostDrops++
 		o.fab.dropped(p)
 		return
 	}
@@ -84,11 +100,11 @@ func (o *outPort) enqueueAt(p *packet.Packet, sw *swDev, in int) {
 	if o.faultDrop(p) {
 		return
 	}
-	if cfg.RandomLossRate > 0 && o.fab.eng.Rand().Float64() < cfg.RandomLossRate {
+	if cfg.RandomLossRate > 0 && o.rng.Float64() < cfg.RandomLossRate {
 		if p.Kind == packet.Data {
-			o.fab.Counters.DataDrops++
+			o.sh.counters.DataDrops++
 		} else {
-			o.fab.Counters.CtrlDrops++
+			o.sh.counters.CtrlDrops++
 		}
 		o.fab.dropped(p)
 		return
@@ -97,7 +113,7 @@ func (o *outPort) enqueueAt(p *packet.Packet, sw *swDev, in int) {
 
 	if isData && p.Unsched && cfg.AeolusThresholdBytes > 0 &&
 		o.queuedBytes >= cfg.AeolusThresholdBytes {
-		o.fab.Counters.AeolusDrops++
+		o.sh.counters.AeolusDrops++
 		o.fab.dropped(p)
 		return
 	}
@@ -109,7 +125,7 @@ func (o *outPort) enqueueAt(p *packet.Packet, sw *swDev, in int) {
 		p.Trimmed = true
 		p.Size = packet.HeaderSize
 		p.Priority = packet.PrioControl
-		o.fab.Counters.Trims++
+		o.sh.counters.Trims++
 		for _, ob := range o.fab.obs {
 			ob.PacketTrimmed(p)
 		}
@@ -117,16 +133,16 @@ func (o *outPort) enqueueAt(p *packet.Packet, sw *swDev, in int) {
 	}
 	if o.queuedBytes+int64(p.Size) > o.capacity {
 		if p.Kind == packet.Data {
-			o.fab.Counters.DataDrops++
+			o.sh.counters.DataDrops++
 		} else {
-			o.fab.Counters.CtrlDrops++
+			o.sh.counters.CtrlDrops++
 		}
 		o.fab.dropped(p)
 		return
 	}
 	if isData && cfg.ECNThresholdBytes > 0 && o.queuedBytes >= cfg.ECNThresholdBytes {
 		p.ECN = true
-		o.fab.Counters.ECNMarks++
+		o.sh.counters.ECNMarks++
 	}
 	o.push(p, in)
 	if cfg.EnablePFC && in >= 0 {
@@ -203,12 +219,27 @@ func (o *outPort) tryTransmit() {
 		p.INT = append(p.INT, packet.INTHop{
 			QueueBytes: o.queuedBytes,
 			TxBytes:    o.txBytes,
-			Timestamp:  o.fab.eng.Now(),
+			Timestamp:  o.sh.eng.Now(),
 			RateBps:    o.rate,
 		})
 	}
-	eng := o.fab.eng
+	eng := o.sh.eng
 	eng.AfterFunc(tx, portTxDone, o, nil, 0)
+	if o.boundary {
+		// Fused boundary delivery: skip the portDeliver and receive
+		// intermediaries and schedule the forward at the peer switch
+		// directly, keyed in the arrival band so execution order does not
+		// depend on which shard inserted it, or when.
+		at := eng.Now().Add(tx + o.delay + o.fab.topo.SwitchDelay)
+		key := bandKey(o.linkID, o.arrSeq)
+		o.arrSeq++
+		if peer := o.peerSw.sh; peer == o.sh {
+			eng.ScheduleArrival(at, key, swForward, o.peerSw, p, o.peerIn)
+		} else {
+			o.sh.stage(peer, at, key, swForward, o.peerSw, p, o.peerIn)
+		}
+		return
+	}
 	eng.AfterFunc(tx+o.delay, portDeliver, o, p, 0)
 }
 
@@ -222,7 +253,10 @@ func portDeliver(a, b any, _ int) {
 	a.(*outPort).deliverToPeer(b.(*packet.Packet))
 }
 
-// deliverToPeer hands the packet to the device at the far end of the link.
+// deliverToPeer hands the packet to the device at the far end of the
+// link. Boundary links never reach here (their delivery is fused into
+// the arrival-band event at transmit time), so the peer is always on
+// the same shard.
 func (o *outPort) deliverToPeer(p *packet.Packet) {
 	if o.hostNIC != nil {
 		// Host NIC → its ToR; the packet enters through the ToR port
@@ -250,7 +284,7 @@ func (d *swDev) checkPause(in int) {
 		return
 	}
 	d.paused[in] = true
-	d.fab.Counters.PFCPauses++
+	d.sh.counters.PFCPauses++
 	d.signalUpstream(in, true)
 }
 
@@ -261,27 +295,51 @@ func (d *swDev) checkResume(in int) {
 		return
 	}
 	d.paused[in] = false
-	d.fab.Counters.PFCResumes++
+	d.sh.counters.PFCResumes++
 	d.signalUpstream(in, false)
 }
 
 // signalUpstream delivers a pause/resume to the transmitter feeding
 // ingress port in. PFC frames are modeled as link-level control that
-// arrives after the propagation delay without queueing.
+// arrives after the propagation delay without queueing. On boundary
+// links the frame travels the same directed link as this switch's data
+// toward the upstream (our output port in), so it borrows that port's
+// arrival-band sequence; on intra-shard links plain scheduling suffices.
 func (d *swDev) signalUpstream(in int, pause bool) {
 	spec := d.spec.Ports[in]
-	var up *outPort
-	if spec.ToHost {
-		up = d.fab.hosts[spec.Peer].nic
-	} else {
-		up = d.fab.switches[spec.Peer].ports[spec.PeerPort]
+	i := 0
+	if pause {
+		i = 1
 	}
-	d.fab.eng.After(spec.Delay, func() {
-		up.paused = pause
-		if !pause {
-			up.tryTransmit()
-		}
-	})
+	if spec.ToHost {
+		// Hosts always share their ToR's shard.
+		d.sh.eng.AfterFunc(spec.Delay, pfcApply, d.fab.hosts[spec.Peer].nic, nil, i)
+		return
+	}
+	up := d.fab.switches[spec.Peer].ports[spec.PeerPort]
+	if !spec.Boundary {
+		d.sh.eng.AfterFunc(spec.Delay, pfcApply, up, nil, i)
+		return
+	}
+	rev := d.ports[in] // our transmitter on the same directed link d→peer
+	at := d.sh.eng.Now().Add(spec.Delay)
+	key := bandKey(rev.linkID, rev.arrSeq)
+	rev.arrSeq++
+	if peer := up.sh; peer == d.sh {
+		d.sh.eng.ScheduleArrival(at, key, pfcApply, up, nil, i)
+	} else {
+		d.sh.stage(peer, at, key, pfcApply, up, nil, i)
+	}
+}
+
+// pfcApply lands a PFC frame at the upstream transmitter: i==1 pauses,
+// i==0 resumes and kicks the transmitter.
+func pfcApply(a, _ any, i int) {
+	up := a.(*outPort)
+	up.paused = i == 1
+	if i == 0 {
+		up.tryTransmit()
+	}
 }
 
 // dropped fans the drop out to the observers, then recycles the

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"dcpim/internal/sim"
+)
+
+// Sharded execution splits one fabric across several engines along the
+// topology's Boundary links (rack↔spine, pod↔core): every device lives
+// on exactly one shard and all of its events run on that shard's engine.
+// Epochs advance all shards to a common barrier no further than one
+// lookahead window (the minimum cross-shard link delay) past the
+// earliest pending event, so no shard can observe an effect from another
+// shard's current epoch. Packets and PFC frames crossing a boundary link
+// are staged per shard pair during the epoch and scheduled on the
+// destination engine at the barrier, keyed by (directed link id, link
+// sequence) in the engine's arrival band — an ordering derived from
+// simulation identity, not insertion order, so event execution order is
+// identical at every shard count, including 1.
+
+// shardState is the per-shard slice of the fabric: engine, disjoint
+// counters, and outbound staging queues.
+type shardState struct {
+	id       int
+	eng      *sim.Engine
+	counters *Counters         // aliases Fabric.Counters when single-shard
+	out      [][]stagedArrival // per destination shard; nil when single-shard
+}
+
+// stagedArrival is one cross-shard event awaiting the barrier: an
+// argument-form callback plus the arrival-band key that fixes its
+// execution order on the destination engine.
+type stagedArrival struct {
+	at   sim.Time
+	key  uint64
+	fn   func(a, b any, i int)
+	a, b any
+	i    int
+}
+
+// stage queues a cross-shard arrival. Only the owning shard's goroutine
+// appends to its out rows during an epoch, so no locking is needed.
+func (s *shardState) stage(dst *shardState, at sim.Time, key uint64, fn func(a, b any, i int), a, b any, i int) {
+	s.out[dst.id] = append(s.out[dst.id], stagedArrival{at, key, fn, a, b, i})
+}
+
+// bandKey packs a directed boundary link's identity and its per-link
+// arrival sequence into an arrival-band ordering key: link id in the
+// high 23 bits (below the band bit), sequence in the low 40.
+const (
+	arrSeqBits       = 40
+	maxBoundaryLinks = 1 << 23
+)
+
+func bandKey(linkID, seq uint64) uint64 { return linkID<<arrSeqBits | seq }
+
+// Run advances the simulation to until across all shards. With one
+// shard it is exactly Engine.Run; with several it executes
+// barrier-synchronized epochs, draining staged cross-shard arrivals at
+// each barrier. Fabric.Counters is up to date when it returns.
+func (f *Fabric) Run(until sim.Time) { f.RunSynced(until, 0, nil) }
+
+// RunSynced is Run with evenly spaced synchronization points: atSync is
+// called at every multiple of interval up to until, after all events at
+// that instant have executed and counters have merged — the hook the
+// metrics sampler uses so that sampled series are identical at every
+// shard count. interval <= 0 disables the hook.
+func (f *Fabric) RunSynced(until sim.Time, interval sim.Duration, atSync func(sim.Time)) {
+	if len(f.shards) == 1 {
+		eng := f.eng
+		if interval > 0 {
+			for next := sim.Time(interval); next <= until; next = next.Add(interval) {
+				if next < eng.Now() {
+					continue
+				}
+				eng.Run(next)
+				if atSync != nil {
+					atSync(next)
+				}
+			}
+		}
+		eng.Run(until)
+		return
+	}
+
+	now := f.grp.Now()
+	next := sim.Time(interval)
+	for interval > 0 && next <= now {
+		next = next.Add(interval)
+	}
+	// Epoch target: one lookahead past the earliest pending event, minus
+	// one picosecond. Every staged arrival from an epoch ending at T
+	// lands strictly after T — a cross-shard packet arrives at
+	// send + tx + delay ≥ M + 1ps + W, and a PFC frame at send + delay ≥
+	// M + W, both > M + W − 1ps — so the barrier never truncates a
+	// causal chain.
+	for now < until {
+		t := until
+		if m, ok := f.grp.NextAt(); ok {
+			if c := m.Add(f.lookahead) - 1; c < t {
+				t = c
+			}
+		}
+		if interval > 0 && next <= until && next < t {
+			t = next
+		}
+		f.grp.RunEpoch(t)
+		f.drainStaging()
+		now = t
+		if interval > 0 && now == next {
+			f.mergeCounters()
+			if atSync != nil {
+				atSync(now)
+			}
+			next = next.Add(interval)
+		}
+	}
+	f.mergeCounters()
+}
+
+// drainStaging moves every staged cross-shard arrival onto its
+// destination engine. Runs between epochs on the coordinating
+// goroutine; arrival-band keys make the heap insertion order
+// irrelevant, but shards are drained in id order anyway so the pass is
+// fully deterministic.
+func (f *Fabric) drainStaging() {
+	for _, src := range f.shards {
+		for di, q := range src.out {
+			if len(q) == 0 {
+				continue
+			}
+			eng := f.shards[di].eng
+			for _, s := range q {
+				eng.ScheduleArrival(s.at, s.key, s.fn, s.a, s.b, s.i)
+			}
+			for i := range q {
+				q[i] = stagedArrival{} // drop packet references
+			}
+			src.out[di] = q[:0]
+		}
+	}
+}
+
+// mergeCounters recomputes Fabric.Counters as the sum of the per-shard
+// counters. No-op when single-shard (the shard's counters alias the
+// fabric's). Recomputing from scratch keeps the merge idempotent, so it
+// can run at every barrier and at quiescence without double counting.
+func (f *Fabric) mergeCounters() {
+	if len(f.shards) == 1 {
+		return
+	}
+	var c Counters
+	for _, s := range f.shards {
+		sc := s.counters
+		c.DataDrops += sc.DataDrops
+		c.CtrlDrops += sc.CtrlDrops
+		c.Trims += sc.Trims
+		c.AeolusDrops += sc.AeolusDrops
+		c.ECNMarks += sc.ECNMarks
+		c.PFCPauses += sc.PFCPauses
+		c.PFCResumes += sc.PFCResumes
+		c.DeliveredData += sc.DeliveredData
+		c.DeliveredCtrl += sc.DeliveredCtrl
+		c.DeliveredBytes += sc.DeliveredBytes
+		c.HostDrops += sc.HostDrops
+		c.FaultDrops += sc.FaultDrops
+	}
+	f.Counters = c
+}
+
+// NumShards returns how many shards the fabric runs on.
+func (f *Fabric) NumShards() int { return len(f.shards) }
+
+// Lookahead returns the conservative synchronization window: the
+// minimum delay over cross-shard links (0 when single-shard).
+func (f *Fabric) Lookahead() sim.Duration { return f.lookahead }
+
+// ShardOfHost returns the shard owning host h.
+func (f *Fabric) ShardOfHost(h int) int { return f.hosts[h].sh.id }
+
+// HostEngine returns the engine host h's events run on. Protocol code
+// reaches it through Host.Engine; fault installers use this form.
+func (f *Fabric) HostEngine(h int) *sim.Engine { return f.hosts[h].sh.eng }
+
+// SwitchEngine returns the engine switch sw's events run on.
+func (f *Fabric) SwitchEngine(sw int) *sim.Engine { return f.switches[sw].sh.eng }
+
+// deviceSeed derives a per-device RNG seed from the run seed (splitmix64
+// finalizer). Every random draw a device makes comes from its own
+// stream, so draw order — and therefore every sampled value — does not
+// depend on how devices interleave across shards.
+func deviceSeed(seed int64, kind, id int) int64 {
+	x := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(kind)<<32|uint64(uint32(id))+1)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}

@@ -121,7 +121,7 @@ func New(cfg Config, col *stats.Collector) *Proto {
 func Attach(fab *netsim.Fabric, cfg Config, col *stats.Collector) []*Proto {
 	ps := make([]*Proto, fab.Topology().NumHosts)
 	for i := range ps {
-		ps[i] = New(cfg, col)
+		ps[i] = New(cfg, col.ForShard(fab.ShardOfHost(i)))
 		fab.AttachProtocol(i, ps[i])
 	}
 	return ps

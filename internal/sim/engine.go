@@ -13,10 +13,20 @@ import "math/rand"
 // container/heap's interface-call overhead. Fired and cancelled events are
 // recycled through a free list, so steady-state scheduling allocates
 // nothing.
+// Sharded execution (see Group) splits one simulation across several
+// engines and relies on a two-band ordering of the seq field: ordinary
+// events occupy band 0 (engine-local insertion sequence, top bit clear)
+// and boundary-link arrivals occupy band 1 (ScheduleArrival, top bit
+// set), whose ordinal is derived from the link identity rather than
+// insertion order. Band-1 events therefore sort after every band-0 event
+// at the same instant, and among themselves in a shard-count-invariant
+// order — the property that makes sharded runs byte-identical to serial.
 type Engine struct {
 	now    Time
-	q      []*event // 4-ary min-heap by (at, seq)
+	q      []*event // 4-ary min-heap by (at, seq), band-0 events only
+	qa     []*event // arrival-band events (ScheduleArrival), same order
 	seq    uint64
+	seed   int64
 	rng    *rand.Rand
 	nEvent uint64 // total events executed, for instrumentation
 	free   *event // recycled events, linked through event.next
@@ -77,11 +87,27 @@ func (t Timer) Cancel() {
 // NewEngine returns an engine with the clock at zero and a random source
 // seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was constructed with. Components that
+// need their own deterministic random streams (per-device RNGs in the
+// sharded fabric) derive them from this.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// NextAt returns the timestamp of the earliest pending event, or false
+// when the queue is empty. Epoch runners use it to size the next
+// conservative window.
+func (e *Engine) NextAt() (Time, bool) {
+	t := e.peek()
+	if t == nil {
+		return 0, false
+	}
+	return t.at, true
+}
 
 // Rand returns the engine's deterministic random source. All simulation
 // components must draw randomness from here to preserve reproducibility.
@@ -92,7 +118,7 @@ func (e *Engine) Events() uint64 { return e.nEvent }
 
 // Pending returns the number of live events currently queued. Cancelled
 // events are removed from the queue immediately and never counted.
-func (e *Engine) Pending() int { return len(e.q) }
+func (e *Engine) Pending() int { return len(e.q) + len(e.qa) }
 
 // alloc takes an event from the free list, or makes one.
 func (e *Engine) alloc() *event {
@@ -118,7 +144,7 @@ func (e *Engine) recycle(t *event) {
 }
 
 // push allocates an event at absolute time at and inserts it into the
-// heap. Scheduling in the past panics: it would silently corrupt
+// main heap. Scheduling in the past panics: it would silently corrupt
 // causality.
 func (e *Engine) push(at Time) *event {
 	if at < e.now {
@@ -130,8 +156,44 @@ func (e *Engine) push(at Time) *event {
 	e.seq++
 	t.idx = int32(len(e.q))
 	e.q = append(e.q, t)
-	e.siftUp(int(t.idx))
+	siftUp(e.q, int(t.idx))
 	return t
+}
+
+// arrivalBand is the top bit of the seq ordering key. Engine-local
+// sequence numbers never reach it, so every ScheduleArrival event sorts
+// after every ordinary event at the same timestamp.
+const arrivalBand = uint64(1) << 63
+
+// ScheduleArrival runs fn(a, b, i) at absolute time at, ordered among
+// same-instant events by the band-1 key rather than by insertion order:
+// all arrivals sort after every ordinarily-scheduled event at that
+// instant, and among themselves by key. Callers derive the key from
+// stable simulation identity (directed link id and per-link sequence),
+// which makes the execution order independent of *when* the event was
+// inserted — the property cross-shard staging queues need to keep
+// sharded runs byte-identical to serial ones. Keys must be unique per
+// (time, key) pair; the caller's per-link counters guarantee that.
+//
+// Arrivals live in their own heap: identity-derived keys are not
+// insertion-ordered, and mixing them into the main heap measurably slows
+// its sift paths (band-0 pushes are near-sorted, so their sifts terminate
+// almost immediately). The split keeps the main heap's comparisons on
+// monotonic keys and confines arrival-key comparisons to the small
+// in-flight-arrivals heap; Step merges the two roots, where the band bit
+// in seq settles every same-instant tie in the main heap's favor.
+func (e *Engine) ScheduleArrival(at Time, key uint64, fn func(a, b any, i int), a, b any, i int) {
+	if at < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	t := e.alloc()
+	t.at = at
+	t.seq = arrivalBand | key
+	t.idx = int32(len(e.qa))
+	e.qa = append(e.qa, t)
+	siftUp(e.qa, int(t.idx))
+	t.fnArgs = fn
+	t.a, t.b, t.i = a, b, i
 }
 
 // Schedule runs fn at absolute time at.
@@ -180,11 +242,18 @@ func (e *Engine) ScheduleFunc(at Time, fn func(a, b any, i int), a, b any, i int
 // immediately reuse the storage by scheduling new events; its own handle
 // is already inert by the time it executes.
 func (e *Engine) Step() bool {
-	if len(e.q) == 0 {
-		return false
+	var t *event
+	switch {
+	case len(e.qa) == 0:
+		if len(e.q) == 0 {
+			return false
+		}
+		t = popRoot(&e.q)
+	case len(e.q) == 0 || eventLess(e.qa[0], e.q[0]):
+		t = popRoot(&e.qa)
+	default:
+		t = popRoot(&e.q)
 	}
-	t := e.q[0]
-	e.popRoot()
 	e.now = t.at
 	e.nEvent++
 	fn, fnArgs, a, b, i := t.fn, t.fnArgs, t.a, t.b, t.i
@@ -201,8 +270,9 @@ func (e *Engine) Step() bool {
 // until. Events stamped exactly at until still run. The clock is left at
 // the later of its current value and until when the horizon is hit.
 func (e *Engine) Run(until Time) {
-	for len(e.q) > 0 {
-		if e.q[0].at > until {
+	for {
+		t := e.peek()
+		if t == nil || t.at > until {
 			break
 		}
 		e.Step()
@@ -210,6 +280,22 @@ func (e *Engine) Run(until Time) {
 	if e.now < until {
 		e.now = until
 	}
+}
+
+// peek returns the next event to run without removing it, or nil when
+// both heaps are empty. Arrival events carry the band bit in seq, so
+// eventLess breaks every same-instant tie toward the main heap.
+func (e *Engine) peek() *event {
+	if len(e.qa) == 0 {
+		if len(e.q) == 0 {
+			return nil
+		}
+		return e.q[0]
+	}
+	if len(e.q) == 0 || eventLess(e.qa[0], e.q[0]) {
+		return e.qa[0]
+	}
+	return e.q[0]
 }
 
 // RunAll executes events until the queue drains. Intended for workloads
@@ -227,21 +313,26 @@ func eventLess(a, b *event) bool {
 	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
-// popRoot removes the minimum event without recycling it (Step still
-// needs its fields).
-func (e *Engine) popRoot() {
-	n := len(e.q) - 1
-	last := e.q[n]
-	e.q[n] = nil
-	e.q = e.q[:n]
+// popRoot removes and returns a heap's minimum event without recycling
+// it (Step still needs its fields).
+func popRoot(qp *[]*event) *event {
+	q := *qp
+	t := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	*qp = q[:n]
 	if n > 0 {
-		e.q[0] = last
+		q[0] = last
 		last.idx = 0
-		e.siftDown(0)
+		siftDown(q[:n], 0)
 	}
+	return t
 }
 
-// remove deletes an arbitrary queued event (cancellation) and recycles it.
+// remove deletes an arbitrary queued event (cancellation) and recycles
+// it. Only main-heap events can be cancelled: ScheduleArrival returns no
+// Timer, so arrival events never come through here.
 func (e *Engine) remove(t *event) {
 	i := int(t.idx)
 	n := len(e.q) - 1
@@ -251,17 +342,16 @@ func (e *Engine) remove(t *event) {
 	if i != n {
 		e.q[i] = last
 		last.idx = int32(i)
-		e.siftUp(i)
+		siftUp(e.q, i)
 		if int(last.idx) == i {
-			e.siftDown(i)
+			siftDown(e.q, i)
 		}
 	}
 	e.recycle(t)
 }
 
 // siftUp restores the heap above index i (4-ary: parent of i is (i-1)/4).
-func (e *Engine) siftUp(i int) {
-	q := e.q
+func siftUp(q []*event, i int) {
 	t := q[i]
 	for i > 0 {
 		p := (i - 1) >> 2
@@ -278,8 +368,7 @@ func (e *Engine) siftUp(i int) {
 }
 
 // siftDown restores the heap below index i (4-ary: children 4i+1..4i+4).
-func (e *Engine) siftDown(i int) {
-	q := e.q
+func siftDown(q []*event, i int) {
 	n := len(q)
 	t := q[i]
 	for {

@@ -1,0 +1,119 @@
+package sim
+
+import "sync"
+
+// Group runs several engines as the shards of one conservatively
+// parallel simulation. Each epoch every shard advances to the same
+// barrier time on its own goroutine; between epochs the caller drains
+// cross-shard staging queues (see netsim) and computes the next barrier
+// from the shards' earliest pending events plus the lookahead window.
+//
+// Shard 0 always runs on the caller's goroutine; shards 1..n-1 each get
+// a persistent worker goroutine fed one barrier time per epoch over a
+// channel. Persistent workers keep the per-epoch synchronization cost
+// to one channel send + one WaitGroup wait per worker, which matters
+// because epochs are only a couple hundred nanoseconds of simulated
+// time wide.
+//
+// A Group of one engine degenerates to plain serial execution with no
+// goroutines and no channels, so the serial path pays nothing.
+type Group struct {
+	engines []*Engine
+	work    []chan Time // one per engine 1..n-1
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewGroup builds a group over engines. The slice must be non-empty;
+// the group takes ownership of running them (callers must not call Run
+// on a member engine while an epoch is in flight).
+func NewGroup(engines []*Engine) *Group {
+	if len(engines) == 0 {
+		panic("sim: empty engine group")
+	}
+	g := &Group{engines: engines}
+	if len(engines) > 1 {
+		g.work = make([]chan Time, len(engines)-1)
+		for i := range g.work {
+			ch := make(chan Time, 1)
+			g.work[i] = ch
+			eng := engines[i+1]
+			go func() {
+				for t := range ch {
+					eng.Run(t)
+					g.wg.Done()
+				}
+			}()
+		}
+	}
+	return g
+}
+
+// N returns the number of shards.
+func (g *Group) N() int { return len(g.engines) }
+
+// Engine returns shard i's engine.
+func (g *Group) Engine(i int) *Engine { return g.engines[i] }
+
+// RunEpoch advances every shard to until and blocks until all have
+// arrived at the barrier. With one shard it is exactly Engine.Run.
+func (g *Group) RunEpoch(until Time) {
+	if len(g.engines) == 1 {
+		g.engines[0].Run(until)
+		return
+	}
+	g.wg.Add(len(g.work))
+	for _, ch := range g.work {
+		ch <- until
+	}
+	g.engines[0].Run(until)
+	g.wg.Wait()
+}
+
+// Close shuts down the worker goroutines. The group must be idle (no
+// epoch in flight). Safe to call more than once.
+func (g *Group) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	for _, ch := range g.work {
+		close(ch)
+	}
+}
+
+// Now returns the current barrier time (all shards agree between
+// epochs; shard 0 is authoritative).
+func (g *Group) Now() Time { return g.engines[0].Now() }
+
+// Events returns the total number of events executed across shards.
+func (g *Group) Events() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.Events()
+	}
+	return n
+}
+
+// Pending returns the total number of live queued events across shards.
+func (g *Group) Pending() int {
+	var n int
+	for _, e := range g.engines {
+		n += e.Pending()
+	}
+	return n
+}
+
+// NextAt returns the earliest pending event time across shards, or
+// false when every shard's queue is empty. Only meaningful between
+// epochs.
+func (g *Group) NextAt() (Time, bool) {
+	var min Time
+	ok := false
+	for _, e := range g.engines {
+		if at, has := e.NextAt(); has && (!ok || at < min) {
+			min, ok = at, true
+		}
+	}
+	return min, ok
+}

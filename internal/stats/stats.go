@@ -36,6 +36,12 @@ func (r FlowRecord) Slowdown() float64 {
 
 // Collector accumulates flow completions and delivered-byte samples during
 // one simulation run.
+//
+// Sharded runs give every shard its own child collector (ForShard), so
+// protocol callbacks never contend across shards; the root's readers
+// merge the children deterministically — counts and bins sum, and
+// Records always returns (Finish, ID) order, which is the same total
+// order at every shard count.
 type Collector struct {
 	records   []FlowRecord
 	started   int64
@@ -43,12 +49,47 @@ type Collector struct {
 
 	binWidth sim.Duration
 	bins     []int64 // delivered payload bytes per time bin
+
+	// shards holds the per-shard child collectors on the root; index 0 is
+	// the root itself. Empty for single-shard runs.
+	shards []*Collector
 }
 
 // NewCollector returns a collector with the given utilization bin width
 // (0 disables the time series).
 func NewCollector(binWidth sim.Duration) *Collector {
 	return &Collector{binWidth: binWidth}
+}
+
+// ForShard returns the child collector for shard i, creating children up
+// to i on first use (call during setup, before events run). Shard 0 is
+// the root itself, so single-shard runs never allocate children. Safe on
+// a nil root (returns nil; writer methods are not nil-safe, matching the
+// root's own contract).
+func (c *Collector) ForShard(i int) *Collector {
+	if c == nil || (i == 0 && c.shards == nil) {
+		return c
+	}
+	for len(c.shards) <= i {
+		if len(c.shards) == 0 {
+			c.shards = append(c.shards, c)
+		} else {
+			c.shards = append(c.shards, &Collector{binWidth: c.binWidth})
+		}
+	}
+	return c.shards[i]
+}
+
+// each visits every shard-local collector exactly once (just the root
+// when unsharded).
+func (c *Collector) each(f func(*Collector)) {
+	if len(c.shards) == 0 {
+		f(c)
+		return
+	}
+	for _, s := range c.shards {
+		f(s)
+	}
 }
 
 // FlowStarted counts an injected flow (denominator for completion checks).
@@ -72,26 +113,64 @@ func (c *Collector) Delivered(t sim.Time, bytes int64) {
 	c.bins[bin] += bytes
 }
 
-// Started returns the number of injected flows.
-func (c *Collector) Started() int64 { return c.started }
+// Started returns the number of injected flows across all shards.
+func (c *Collector) Started() int64 {
+	var n int64
+	c.each(func(s *Collector) { n += s.started })
+	return n
+}
 
-// Completed returns the number of completed flows.
-func (c *Collector) Completed() int64 { return int64(len(c.records)) }
+// Completed returns the number of completed flows across all shards.
+func (c *Collector) Completed() int64 {
+	var n int64
+	c.each(func(s *Collector) { n += int64(len(s.records)) })
+	return n
+}
 
 // DeliveredBytes returns total unique payload bytes delivered.
-func (c *Collector) DeliveredBytes() int64 { return c.delivered }
+func (c *Collector) DeliveredBytes() int64 {
+	var n int64
+	c.each(func(s *Collector) { n += s.delivered })
+	return n
+}
 
-// Records returns all completion records (shared slice; do not mutate).
-func (c *Collector) Records() []FlowRecord { return c.records }
+// Records returns all completion records in (Finish, ID) order — a total
+// order over any run, so the slice is byte-identical at every shard
+// count. The slice is shared on single-shard collectors (do not mutate)
+// and freshly merged on sharded ones.
+func (c *Collector) Records() []FlowRecord {
+	out := c.records
+	if len(c.shards) > 0 {
+		out = make([]FlowRecord, 0, c.Completed())
+		for _, s := range c.shards {
+			out = append(out, s.records...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Finish != out[j].Finish {
+			return out[i].Finish < out[j].Finish
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
 
 // UtilizationSeries returns, for each time bin, delivered goodput as a
-// fraction of aggregate capacity (hosts × rate).
+// fraction of aggregate capacity (hosts × rate), summed across shards.
 func (c *Collector) UtilizationSeries(hosts int, rateBps float64) []float64 {
-	out := make([]float64, len(c.bins))
+	bins := 0
+	c.each(func(s *Collector) {
+		if len(s.bins) > bins {
+			bins = len(s.bins)
+		}
+	})
+	out := make([]float64, bins)
 	cap := rateBps * float64(hosts) / 8 * c.binWidth.Seconds()
-	for i, b := range c.bins {
-		out[i] = float64(b) / cap
-	}
+	c.each(func(s *Collector) {
+		for i, b := range s.bins {
+			out[i] += float64(b) / cap
+		}
+	})
 	return out
 }
 

@@ -70,6 +70,13 @@ func (c FatTreeConfig) Build() *Topology {
 	link := func(peer, peerPort int) Port {
 		return Port{Peer: peer, PeerPort: peerPort, Rate: c.Rate, Delay: c.PropDelay}
 	}
+	// Agg↔core links are the shard boundary: cutting there keeps each pod
+	// (and each core switch) whole.
+	blink := func(peer, peerPort int) Port {
+		p := link(peer, peerPort)
+		p.Boundary = true
+		return p
+	}
 
 	t.Switches = make([]*Switch, numEdge+numAgg+numCore)
 
@@ -103,7 +110,7 @@ func (c FatTreeConfig) Build() *Topology {
 			for x := 0; x < half; x++ {
 				// Agg j connects to cores j*half .. j*half+half-1; the
 				// core's port toward this pod is port index pod.
-				sw.Ports = append(sw.Ports, link(coreID(j*half+x), pod))
+				sw.Ports = append(sw.Ports, blink(coreID(j*half+x), pod))
 			}
 			t.Switches[sw.ID] = sw
 		}
@@ -114,7 +121,7 @@ func (c FatTreeConfig) Build() *Topology {
 		j := ci / half
 		x := ci % half
 		for pod := 0; pod < k; pod++ {
-			sw.Ports = append(sw.Ports, link(aggID(pod, j), half+x))
+			sw.Ports = append(sw.Ports, blink(aggID(pod, j), half+x))
 		}
 		t.Switches[sw.ID] = sw
 	}

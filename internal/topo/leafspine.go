@@ -105,10 +105,12 @@ func (c LeafSpineConfig) Build() *Topology {
 			t.HostPort[host] = h
 		}
 		// Uplinks: ports HostsPerRack..HostsPerRack+Spines-1 to each spine.
+		// Leaf↔spine links are the shard boundary: cutting there keeps each
+		// rack (and each spine) whole.
 		for s := 0; s < c.Spines; s++ {
 			sw.Ports = append(sw.Ports, Port{
 				Peer: c.Racks + s, PeerPort: l,
-				Rate: c.SpineRate, Delay: c.PropDelay,
+				Rate: c.SpineRate, Delay: c.PropDelay, Boundary: true,
 			})
 		}
 		t.Switches = append(t.Switches, sw)
@@ -119,7 +121,7 @@ func (c LeafSpineConfig) Build() *Topology {
 		for l := 0; l < c.Racks; l++ {
 			sw.Ports = append(sw.Ports, Port{
 				Peer: l, PeerPort: c.HostsPerRack + s,
-				Rate: c.SpineRate, Delay: c.PropDelay,
+				Rate: c.SpineRate, Delay: c.PropDelay, Boundary: true,
 			})
 		}
 		t.Switches = append(t.Switches, sw)

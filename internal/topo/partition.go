@@ -1,0 +1,149 @@
+package topo
+
+import (
+	"fmt"
+
+	"dcpim/internal/sim"
+)
+
+// Partition assigns every host and switch of a topology to one of
+// NumShards shards such that only Boundary-marked links cross shards.
+// Lookahead is the minimum propagation delay over cross-shard links —
+// the conservative synchronization window: no event executed in one
+// shard before the barrier can affect another shard until at least
+// Lookahead later, because every cross-shard packet or PFC signal rides
+// a boundary link with at least that much delay.
+type Partition struct {
+	NumShards   int
+	HostShard   []int32 // host id → shard
+	SwitchShard []int32 // switch id → shard
+	Lookahead   sim.Duration
+}
+
+// ShardOfHost returns the shard owning host h.
+func (p *Partition) ShardOfHost(h int) int { return int(p.HostShard[h]) }
+
+// ShardOfSwitch returns the shard owning switch s.
+func (p *Partition) ShardOfSwitch(s int) int { return int(p.SwitchShard[s]) }
+
+// MaxShards returns the number of partition units (connected components
+// under non-boundary links) in the topology — the largest shard count
+// MakePartition accepts. For a leaf-spine this is racks + spines; for a
+// k-ary fat-tree, pods + cores.
+func MaxShards(t *Topology) int {
+	return len(components(t))
+}
+
+// MakePartition splits t into n shards. The partition units are the
+// connected components of the switch graph with boundary links removed
+// (a rack plus its hosts in a leaf-spine; a pod in a fat-tree; each
+// spine or core switch is its own unit). Units are ordered by their
+// smallest switch id and dealt round-robin to shards, which balances
+// host-bearing units (racks, pods — all listed first in both builders)
+// and switch-only units (spines, cores) separately.
+//
+// It fails when n exceeds the unit count, when a unit-internal link is
+// marked Boundary inconsistently (cross-shard link with zero delay), or
+// when n < 1.
+func MakePartition(t *Topology, n int) (*Partition, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: partition needs ≥1 shard, got %d", n)
+	}
+	comps := components(t)
+	if n > len(comps) {
+		return nil, fmt.Errorf("topo: %s has %d partition units, cannot split into %d shards",
+			t.Name, len(comps), n)
+	}
+
+	p := &Partition{
+		NumShards:   n,
+		HostShard:   make([]int32, t.NumHosts),
+		SwitchShard: make([]int32, len(t.Switches)),
+	}
+	for k, unit := range comps {
+		shard := int32(k % n)
+		for _, sw := range unit {
+			p.SwitchShard[sw] = shard
+		}
+	}
+	for h := 0; h < t.NumHosts; h++ {
+		p.HostShard[h] = p.SwitchShard[t.HostSwitch[h]]
+	}
+
+	// Lookahead: minimum delay over links that actually cross shards.
+	// Every cross-shard link must be a boundary link with positive delay;
+	// anything else would break conservative synchronization.
+	for _, sw := range t.Switches {
+		for pi, port := range sw.Ports {
+			if port.ToHost {
+				continue
+			}
+			if p.SwitchShard[sw.ID] == p.SwitchShard[port.Peer] {
+				continue
+			}
+			if !port.Boundary {
+				return nil, fmt.Errorf("topo: %s: non-boundary link sw%d:%d–sw%d crosses shards (partition unit split)",
+					t.Name, sw.ID, pi, port.Peer)
+			}
+			if port.Delay <= 0 {
+				return nil, fmt.Errorf("topo: %s: cross-shard link sw%d:%d–sw%d has zero delay; lookahead would be empty",
+					t.Name, sw.ID, pi, port.Peer)
+			}
+			if p.Lookahead == 0 || port.Delay < p.Lookahead {
+				p.Lookahead = port.Delay
+			}
+		}
+	}
+	if n > 1 && p.Lookahead == 0 {
+		return nil, fmt.Errorf("topo: %s: no cross-shard links in a %d-shard partition", t.Name, n)
+	}
+	return p, nil
+}
+
+// components returns the connected components of the switch graph with
+// boundary links removed, each as a sorted slice of switch ids, ordered
+// by smallest member id.
+func components(t *Topology) [][]int {
+	nSw := len(t.Switches)
+	parent := make([]int, nSw)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra // root at smallest id for stable ordering
+		}
+	}
+	for _, sw := range t.Switches {
+		for _, port := range sw.Ports {
+			if !port.ToHost && !port.Boundary {
+				union(sw.ID, port.Peer)
+			}
+		}
+	}
+	var comps [][]int
+	rootComp := map[int]int{}
+	for id := 0; id < nSw; id++ { // ascending id ⇒ components ordered by min member
+		r := find(id)
+		k, ok := rootComp[r]
+		if !ok {
+			k = len(comps)
+			rootComp[r] = k
+			comps = append(comps, nil)
+		}
+		comps[k] = append(comps[k], id)
+	}
+	return comps
+}

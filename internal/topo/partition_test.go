@@ -1,0 +1,81 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPartitionUnits pins the partition-unit counts of the stock
+// topologies: a leaf-spine splits into racks + spines, a fat-tree into
+// pods + cores.
+func TestPartitionUnits(t *testing.T) {
+	cases := []struct {
+		name string
+		topo *Topology
+		want int
+	}{
+		{"leafspine-8", SmallLeafSpine().Build(), 4},      // 2 racks + 2 spines
+		{"leafspine-144", DefaultLeafSpine().Build(), 13}, // 9 racks + 4 spines
+		{"fattree-16", SmallFatTree().Build(), 8},         // 4 pods + 4 cores
+	}
+	for _, c := range cases {
+		if got := MaxShards(c.topo); got != c.want {
+			t.Errorf("%s: MaxShards = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMakePartitionErrors(t *testing.T) {
+	tp := SmallLeafSpine().Build()
+	if _, err := MakePartition(tp, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MakePartition(tp, MaxShards(tp)+1); err == nil {
+		t.Error("n beyond unit count accepted")
+	}
+}
+
+// TestMakePartitionInvariants checks, for every shard count a topology
+// supports: hosts co-located with their ToR, only boundary links
+// crossing shards, a positive lookahead at n > 1, and determinism.
+func TestMakePartitionInvariants(t *testing.T) {
+	for _, tp := range []*Topology{SmallLeafSpine().Build(), SmallFatTree().Build()} {
+		max := MaxShards(tp)
+		for n := 1; n <= max; n++ {
+			p, err := MakePartition(tp, n)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", tp.Name, n, err)
+			}
+			if p.NumShards != n {
+				t.Fatalf("%s n=%d: NumShards %d", tp.Name, n, p.NumShards)
+			}
+			for h := 0; h < tp.NumHosts; h++ {
+				if p.ShardOfHost(h) != p.ShardOfSwitch(tp.HostSwitch[h]) {
+					t.Fatalf("%s n=%d: host %d not on its ToR's shard", tp.Name, n, h)
+				}
+			}
+			seen := make(map[int]bool)
+			for _, sw := range tp.Switches {
+				seen[p.ShardOfSwitch(sw.ID)] = true
+				for pi, port := range sw.Ports {
+					if port.ToHost || port.Boundary {
+						continue
+					}
+					if p.ShardOfSwitch(sw.ID) != p.ShardOfSwitch(port.Peer) {
+						t.Fatalf("%s n=%d: non-boundary link sw%d:%d crosses shards", tp.Name, n, sw.ID, pi)
+					}
+				}
+			}
+			if len(seen) != n {
+				t.Errorf("%s n=%d: only %d shards populated", tp.Name, n, len(seen))
+			}
+			if n > 1 && p.Lookahead <= 0 {
+				t.Errorf("%s n=%d: lookahead %v", tp.Name, n, p.Lookahead)
+			}
+			q, err := MakePartition(tp, n)
+			if err != nil || !reflect.DeepEqual(p, q) {
+				t.Errorf("%s n=%d: partition not deterministic", tp.Name, n)
+			}
+		}
+	}
+}

@@ -22,6 +22,15 @@ type Port struct {
 	PeerPort int          // port index on the peer switch (-1 for hosts)
 	Rate     float64      // link rate, bits per second
 	Delay    sim.Duration // propagation delay
+
+	// Boundary marks ports on links that cross the topology's natural
+	// partition boundary (leaf↔spine in a leaf-spine, agg↔core in a
+	// fat-tree). Sharded execution may only cut the fabric along boundary
+	// links; arrivals over them are ordered by link identity rather than
+	// insertion order so that event order is shard-count-invariant (see
+	// sim.Engine's arrival band). Builders set it on both directions of a
+	// boundary link.
+	Boundary bool
 }
 
 // Switch is a node in the fabric with a set of ports and a routing table.
@@ -89,6 +98,9 @@ func (t *Topology) Validate() error {
 			}
 			if back.Rate != p.Rate || back.Delay != p.Delay {
 				return fmt.Errorf("switch %d port %d: asymmetric link properties", sw.ID, pi)
+			}
+			if back.Boundary != p.Boundary {
+				return fmt.Errorf("switch %d port %d: asymmetric boundary flag", sw.ID, pi)
 			}
 		}
 	}
