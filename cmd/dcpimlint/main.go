@@ -1,0 +1,70 @@
+// Command dcpimlint runs the repo's determinism and ownership analyzers
+// (internal/analysis, DESIGN.md §12) over the given package patterns and
+// exits nonzero on any unsuppressed finding, so CI can gate on it:
+//
+//	go run ./cmd/dcpimlint ./...
+//
+// Findings are silenced inline with `//lint:ignore <analyzer> <reason>`
+// (or `//lint:deterministic <reason>` for maprange); the reason is
+// mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dcpim/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: dcpimlint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.Analyzers()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "dcpimlint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpimlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunDir(wd, analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcpimlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -105,12 +105,12 @@ func main() {
 			fmt.Println()
 		}
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		start := time.Now()
+		elapsed := experiments.WallTimer()
 		if err := e.Run(opts, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s wall time)\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s wall time)\n", elapsed().Round(time.Millisecond))
 	}
 
 	if *memprofile != "" {

@@ -1,0 +1,106 @@
+// Package analysis implements dcpimlint: a suite of static analyzers that
+// machine-enforce the simulator's determinism and ownership contracts
+// (DESIGN.md §12). The headline invariant — same seed ⇒ byte-identical
+// digests, counters, and CSV/JSON artifacts at any shard count — rests on
+// conventions that code review alone cannot hold: seeded *rand.Rand streams
+// instead of the global math/rand functions, no wall-clock reads inside
+// internal/, deterministic iteration over maps that feed digests or
+// metrics, the packet.Keep/ReleaseUnlessKept ownership contract, and
+// concurrency confined to sim.Group/experiments.RunMany. Each rule here is
+// an Analyzer; cmd/dcpimlint runs them all and CI gates on a clean exit.
+//
+// The Analyzer/Pass/Diagnostic surface is an API-compatible subset of
+// golang.org/x/tools/go/analysis, reimplemented locally on the standard
+// library (go/ast, go/types, go list) so the module keeps zero external
+// dependencies and the linter builds offline. If the repo ever vendors
+// x/tools, these analyzers port by changing only the import path.
+//
+// Suppression syntax, shared by every analyzer:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed at the end of the offending line or alone on the line directly
+// above it. The reason is mandatory; an ignore directive without one is
+// itself a diagnostic. The maprange analyzer additionally honors
+//
+//	//lint:deterministic <reason>
+//
+// for map iterations whose fold is order-insensitive by construction.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one named rule. Run inspects a single package via
+// its Pass and reports findings through pass.Report/Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph help text shown by `dcpimlint -list`.
+	Doc string
+
+	// Run applies the rule to one type-checked package. Diagnostics go
+	// through pass.Report; the error return is for analysis failures
+	// (not findings) and aborts the whole run.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with a single type-checked package and a
+// sink for diagnostics — the same contract as x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records a finding. The runner fills Diagnostic.Analyzer and
+	// Diagnostic.Position and applies suppression directives.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+
+	// Filled in by the runner.
+	Analyzer string         // reporting analyzer's Name
+	Position token.Position // resolved file:line:column
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full dcpimlint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		GlobalRand,
+		Wallclock,
+		MapRange,
+		PacketOwn,
+		SimGoroutine,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GlobalRand forbids the process-global math/rand entry points everywhere
+// in the module. The simulator's reproducibility contract requires every
+// random draw to come from a seeded *rand.Rand (plumbed from the run seed
+// through splitmix64 per-device streams); the package-level functions
+// share one auto-seeded global source, so a single rand.Intn silently
+// invalidates every golden digest. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf, and the rand/v2 equivalents) stay legal — unless their
+// seed expression reads the wall clock, which is the classic
+// rand.NewSource(time.Now().UnixNano()) antipattern.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid global math/rand functions and wall-clock seeds; " +
+		"randomness must flow from seeded *rand.Rand streams",
+	Run: runGlobalRand,
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods on *rand.Rand etc. are the sanctioned API
+			}
+			if !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(sel.Pos(),
+					"use of global %s.%s draws from the shared auto-seeded source; use a seeded *rand.Rand",
+					fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+		// Constructors seeded from the wall clock defeat reproducibility
+		// just as thoroughly as the global functions.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObject(pass.TypesInfo, call.Fun)
+			if fn == nil || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] ||
+				!strings.HasPrefix(fn.Name(), "New") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if callsInto(pass.TypesInfo, arg, "time", "Now") {
+					pass.Reportf(call.Pos(),
+						"%s.%s seeded from time.Now is nondeterministic; plumb the run seed instead",
+						fn.Pkg().Name(), fn.Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

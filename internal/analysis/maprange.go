@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags `for range` over maps in digest-path packages. Go
+// randomizes map iteration order per run, so any map range whose effects
+// reach a digest, counter fold, metrics CSV, or event schedule is a
+// nondeterminism bug even when every individual iteration is correct. Two
+// shapes stay legal without annotation: a bare `for range m` that never
+// binds the key (order cannot matter), and the canonical collect-then-sort
+// idiom — a loop body that only appends to slices which are later passed
+// to a sort call in the same function. Any other order-insensitive fold
+// (e.g. summing into an int) must say so: //lint:deterministic <reason>.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flag map iteration in digest-path packages unless keys are " +
+		"collected and sorted, or the site carries //lint:deterministic",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	if !onDigestPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Every function-like body, innermost-wins, so a range inside a
+		// closure is scanned against that closure for the later sort.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rng.Key == nil && rng.Value == nil {
+				return true // `for range m` never observes the order
+			}
+			body := innermostBody(bodies, rng)
+			if body != nil && isCollectAndSort(pass.TypesInfo, rng, body) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration order is random and this package feeds the digest path; collect and sort keys first, or annotate //lint:deterministic <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// innermostBody returns the smallest function body containing n.
+func innermostBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// isCollectAndSort recognizes the sanctioned pattern: every statement in
+// the range body is `x = append(x, ...)`, and every such x is later (after
+// the loop, in the same function body) passed to a sort/slices sorting
+// call. Append order into the slice is arbitrary, but the subsequent sort
+// erases it.
+func isCollectAndSort(info *types.Info, rng *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	var targets []types.Object
+	for _, stmt := range rng.Body.List {
+		obj := appendTarget(info, stmt)
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	for _, obj := range targets {
+		if !sortedAfter(info, fnBody, rng, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTarget returns the object appended to if stmt has the exact shape
+// `x = append(x, ...)` (or :=), with x an identifier or a selector rooted
+// at one; otherwise nil.
+func appendTarget(info *types.Info, stmt ast.Stmt) types.Object {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return nil
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	lhs := rootIdent(assign.Lhs[0])
+	first := rootIdent(call.Args[0])
+	if lhs == nil || first == nil {
+		return nil
+	}
+	lobj := identObject(info, lhs)
+	if lobj == nil || lobj != identObject(info, first) {
+		return nil
+	}
+	return lobj
+}
+
+// sortedAfter reports whether obj is mentioned in a sort call that appears
+// after the range statement within body.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := funcObject(info, call.Fun)
+		if fn == nil || fn.Pkg() == nil || !isSortFunc(fn) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(info, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isSortFunc(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Sort", "Stable", "Strings", "Ints", "Float64s", "Slice", "SliceStable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent returns the leftmost identifier of an expression like x,
+// x.f.g, or x[i].
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// mentionsObject reports whether expr contains an identifier resolving to obj.
+func mentionsObject(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && identObject(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

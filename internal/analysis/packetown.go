@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PacketOwn enforces the pool ownership contract around packet.Keep and
+// packet.ReleaseUnlessKept (see the Packet doc comment): Keep transfers
+// ownership from the fabric to the protocol, ReleaseUnlessKept is the
+// fabric's post-delivery release point, and the two must never meet in one
+// handler — keeping a packet and then handing it back to the fabric's
+// release path double-frees it into the shared sync.Pool, corrupting a
+// concurrent simulation under experiments.RunMany. Likewise, OnPacket
+// bodies and Observer hooks run while the fabric still holds the packet,
+// so synchronous Release/ReleaseUnlessKept/pool-Put calls there are
+// use-after-free bugs; a kept packet is consumed from a later event
+// (closures scheduled from the handler are exempt — they run later).
+var PacketOwn = &Analyzer{
+	Name: "packetown",
+	Doc: "enforce packet pool ownership: no Keep+ReleaseUnlessKept on the " +
+		"same packet in one handler, no synchronous release inside " +
+		"OnPacket bodies or Observer hooks",
+	Run: runPacketOwn,
+}
+
+var (
+	packetPkg = modulePath + "/internal/packet"
+	netsimPkg = modulePath + "/internal/netsim"
+)
+
+// observerHooks are the netsim.Observer methods (and the matching
+// ObserverFuncs fields, which drop the "Packet" prefix).
+var observerHooks = map[string]bool{
+	"PacketInjected": true, "PacketDelivered": true,
+	"PacketDropped": true, "PacketTrimmed": true,
+}
+
+var observerFuncFields = map[string]bool{
+	"Injected": true, "Delivered": true, "Dropped": true, "Trimmed": true,
+}
+
+func runPacketOwn(pass *Pass) error {
+	if pass.Pkg.Path() == packetPkg {
+		return nil // the contract's implementation necessarily touches the pool
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkKeepConflict(pass, fd)
+			if isPacketHandler(pass.TypesInfo, fd) {
+				banSyncRelease(pass, fd.Body, "inside "+fd.Name.Name)
+			}
+		}
+		// Hooks registered through netsim.ObserverFuncs literals are
+		// observer bodies too, wherever the literal appears.
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[lit]
+			if !ok || !namedTypeIs(tv.Type, netsimPkg, "ObserverFuncs") {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || !observerFuncFields[key.Name] {
+					continue
+				}
+				if fl, ok := kv.Value.(*ast.FuncLit); ok {
+					banSyncRelease(pass, fl.Body, "inside ObserverFuncs."+key.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPacketHandler reports whether fd is a method the fabric invokes while
+// it still owns the packet: Protocol.OnPacket or an Observer hook, by name
+// and a *packet.Packet parameter.
+func isPacketHandler(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	name := fd.Name.Name
+	if name != "OnPacket" && !observerHooks[name] {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok {
+			if namedTypeIs(tv.Type, packetPkg, "Packet") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkKeepConflict flags any packet that one function body both Keep()s
+// and passes to ReleaseUnlessKept — flow-insensitively, nested closures
+// included, since the double release is wrong in every order.
+func checkKeepConflict(pass *Pass, fd *ast.FuncDecl) {
+	kept := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || !isMethod(fn, packetPkg, "Packet", "Keep") {
+			return true
+		}
+		if id := rootIdent(sel.X); id != nil {
+			if obj := identObject(pass.TypesInfo, id); obj != nil {
+				kept[obj] = true
+			}
+		}
+		return true
+	})
+	if len(kept) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObject(pass.TypesInfo, call.Fun)
+		if !isPkgFunc(fn, packetPkg, "ReleaseUnlessKept") || len(call.Args) != 1 {
+			return true
+		}
+		if id := rootIdent(call.Args[0]); id != nil {
+			if obj := identObject(pass.TypesInfo, id); obj != nil && kept[obj] {
+				pass.Reportf(call.Pos(),
+					"%s is Keep()ed in this handler and also passed to ReleaseUnlessKept; after Keep the protocol owns the packet and must Release it from a later event",
+					id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// banSyncRelease reports packet.Release, packet.ReleaseUnlessKept, and
+// (*sync.Pool).Put calls inside body, skipping nested function literals:
+// a closure scheduled from a handler runs as a later event, which is
+// exactly the sanctioned way to consume a kept packet.
+func banSyncRelease(pass *Pass, body *ast.BlockStmt, where string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObject(pass.TypesInfo, call.Fun)
+		switch {
+		case isPkgFunc(fn, packetPkg, "Release"):
+			pass.Reportf(call.Pos(),
+				"synchronous packet.Release %s: the fabric still reads the packet after the hook returns; Keep it and Release from a later event", where)
+		case isPkgFunc(fn, packetPkg, "ReleaseUnlessKept"):
+			pass.Reportf(call.Pos(),
+				"packet.ReleaseUnlessKept %s: that is the fabric's own release point, never a handler's", where)
+		case isMethod(fn, "sync", "Pool", "Put"):
+			pass.Reportf(call.Pos(),
+				"sync.Pool Put %s: handlers must not recycle objects the fabric still holds", where)
+		}
+		return true
+	})
+}

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Run applies every analyzer to every package, resolves positions, filters
+// suppressed findings, and returns the survivors sorted by position. A
+// malformed suppression directive (missing reason) is reported as a
+// diagnostic from the pseudo-analyzer "lintdirective" so it cannot hide a
+// finding silently.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup, bad := collectSuppressions(pkg)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				d.Position = pkg.Fset.Position(d.Pos)
+				if !sup.suppresses(a.Name, d.Position) {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// RunDir loads patterns relative to dir and runs analyzers over the result.
+func RunDir(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return Run(pkgs, analyzers)
+}
+
+// suppressionKey identifies one line of one file.
+type suppressionKey struct {
+	file string
+	line int
+}
+
+// suppressions maps file:line to the set of analyzer names silenced there.
+// The special name "deterministic" (from //lint:deterministic) silences
+// maprange only.
+type suppressions map[suppressionKey]map[string]bool
+
+func (s suppressions) suppresses(analyzer string, pos token.Position) bool {
+	names := s[suppressionKey{pos.Filename, pos.Line}]
+	if names[analyzer] {
+		return true
+	}
+	return analyzer == "maprange" && names["deterministic"]
+}
+
+// collectSuppressions scans every comment in pkg for lint directives. A
+// directive covers its own line and, when it stands alone on a line, the
+// line directly below — so it can trail the offending statement or sit
+// immediately above it. Directives with no reason are returned as
+// diagnostics instead of taking effect.
+func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var bad []Diagnostic
+	for _, f := range pkg.Syntax {
+		// Lines that contain non-comment code, to distinguish trailing
+		// directives from standalone ones.
+		codeLines := make(map[int]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, ok := n.(*ast.Comment); ok {
+				return false
+			}
+			if _, ok := n.(*ast.CommentGroup); ok {
+				return false
+			}
+			codeLines[pkg.Fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if reason == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Message:  fmt.Sprintf("//lint:%s directive needs a reason", name),
+						Analyzer: "lintdirective",
+						Position: pos,
+					})
+					continue
+				}
+				lines := []int{pos.Line}
+				if !codeLines[pos.Line] {
+					lines = append(lines, pos.Line+1)
+				}
+				for _, line := range lines {
+					key := suppressionKey{pos.Filename, line}
+					if sup[key] == nil {
+						sup[key] = make(map[string]bool)
+					}
+					sup[key][name] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// parseDirective recognizes "//lint:ignore <name> <reason>" and
+// "//lint:deterministic <reason>". For ignore directives it returns the
+// target analyzer name; for deterministic ones it returns "deterministic".
+func parseDirective(text string) (name, reason string, ok bool) {
+	switch {
+	case strings.HasPrefix(text, "//lint:ignore"):
+		rest := strings.TrimPrefix(text, "//lint:ignore")
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			return "", "", false
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return "ignore", "", true // malformed: no analyzer, no reason
+		}
+		return fields[0], strings.Join(fields[1:], " "), true
+	case strings.HasPrefix(text, "//lint:deterministic"):
+		rest := strings.TrimPrefix(text, "//lint:deterministic")
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			return "", "", false
+		}
+		return "deterministic", strings.TrimSpace(rest), true
+	}
+	return "", "", false
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimGoroutine forbids ad-hoc concurrency on the simulation path: `go`
+// statements, sync.WaitGroup, and host-clock timers (time.Timer,
+// time.Ticker). Sharded execution already parallelizes the fabric through
+// barrier-synchronized sim.Group workers, and sweeps parallelize through
+// experiments.RunMany; any other goroutine racing the event loop breaks
+// the byte-identity guarantee in ways -race cannot always see (map
+// iteration feeding a digest from two workers is a logic race, not a data
+// race). The two sanctioned sites carry //lint:ignore directives in their
+// own bodies, so every new spawn point is a finding until justified.
+var SimGoroutine = &Analyzer{
+	Name: "simgoroutine",
+	Doc: "forbid go statements, sync.WaitGroup, and time.Timer/Ticker in " +
+		"sim-path packages; concurrency belongs to sim.Group and RunMany",
+	Run: runSimGoroutine,
+}
+
+func runSimGoroutine(pass *Pass) error {
+	if !onSimPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"go statement on the sim path; concurrency belongs to sim.Group / experiments.RunMany")
+			case *ast.SelectorExpr:
+				tn, ok := pass.TypesInfo.Uses[n.Sel].(*types.TypeName)
+				if !ok || tn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup":
+					pass.Reportf(n.Pos(),
+						"sync.WaitGroup on the sim path; use sim.Group's barrier instead of ad-hoc joins")
+				case tn.Pkg().Path() == "time" && (tn.Name() == "Timer" || tn.Name() == "Ticker"):
+					pass.Reportf(n.Pos(),
+						"time.%s is a host-clock timer; schedule sim-time events through sim.Engine", tn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseFixtureSimple(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Package{Fset: fset, Syntax: []*ast.File{f}}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text         string
+		name, reason string
+		ok           bool
+	}{
+		{"//lint:ignore maprange commutative sum", "maprange", "commutative sum", true},
+		{"//lint:ignore maprange", "maprange", "", true},
+		{"//lint:ignore", "ignore", "", true},
+		{"//lint:deterministic int sum", "deterministic", "int sum", true},
+		{"//lint:deterministic", "deterministic", "", true},
+		{"//lint:ignored not a directive", "", "", false},
+		{"// plain comment", "", "", false},
+		{"//lint:deterministically nope", "", "", false},
+	}
+	for _, c := range cases {
+		name, reason, ok := parseDirective(c.text)
+		if name != c.name || reason != c.reason || ok != c.ok {
+			t.Errorf("parseDirective(%q) = %q, %q, %v; want %q, %q, %v",
+				c.text, name, reason, ok, c.name, c.reason, c.ok)
+		}
+	}
+}
+
+func TestCollectSuppressions(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:ignore wallclock standalone covers the next line
+	x := 1
+	y := 2 //lint:ignore maprange trailing covers its own line
+	_ = x
+	_ = y
+	//lint:ignore simgoroutine
+	_ = 3
+}
+`
+	pkg := parseFixtureSimple(t, src)
+	sup, bad := collectSuppressions(pkg)
+
+	if !sup.suppresses("wallclock", token.Position{Filename: "fixture.go", Line: 5}) {
+		t.Errorf("standalone directive should cover the following line")
+	}
+	if !sup.suppresses("maprange", token.Position{Filename: "fixture.go", Line: 6}) {
+		t.Errorf("trailing directive should cover its own line")
+	}
+	if sup.suppresses("wallclock", token.Position{Filename: "fixture.go", Line: 6}) {
+		t.Errorf("directive must not leak to unrelated lines")
+	}
+	// //lint:deterministic suppresses maprange only.
+	if sup.suppresses("globalrand", token.Position{Filename: "fixture.go", Line: 5}) {
+		t.Errorf("directive must be analyzer-specific")
+	}
+	if len(bad) != 1 {
+		t.Fatalf("want 1 malformed-directive diagnostic, got %d: %v", len(bad), bad)
+	}
+	if bad[0].Analyzer != "lintdirective" || bad[0].Position.Line != 9 {
+		t.Errorf("malformed directive diagnostic = %v; want lintdirective at line 9", bad[0])
+	}
+	// The reasonless directive must not take effect.
+	if sup.suppresses("simgoroutine", token.Position{Filename: "fixture.go", Line: 10}) {
+		t.Errorf("directive without a reason must not suppress")
+	}
+}
+
+func TestDeterministicSuppressesMapRangeOnly(t *testing.T) {
+	src := `package p
+
+func f() {
+	//lint:deterministic order-insensitive fold
+	x := 1
+	_ = x
+}
+`
+	pkg := parseFixtureSimple(t, src)
+	sup, bad := collectSuppressions(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	pos := token.Position{Filename: "fixture.go", Line: 5}
+	if !sup.suppresses("maprange", pos) {
+		t.Errorf("//lint:deterministic should suppress maprange")
+	}
+	if sup.suppresses("wallclock", pos) {
+		t.Errorf("//lint:deterministic must not suppress other analyzers")
+	}
+}

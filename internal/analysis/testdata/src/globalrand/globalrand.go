@@ -1,0 +1,35 @@
+// Package globalrand is a dcpimlint fixture: the globalrand analyzer
+// applies module-wide, so this package can live at the module root.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func badGlobals() {
+	_ = rand.Intn(10)                  // want "global rand.Intn draws from the shared auto-seeded source"
+	_ = rand.Float64()                 // want "global rand.Float64"
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle"
+	rand.Seed(42)                      // want "global rand.Seed"
+	_ = randv2.IntN(10)                // want "global rand.IntN"
+}
+
+func badSeed() {
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.NewSource seeded from time.Now" "rand.New seeded from time.Now"
+}
+
+func goodSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10) // method on a seeded *rand.Rand: sanctioned
+}
+
+func suppressed() int {
+	//lint:ignore globalrand fixture demonstrates a justified suppression
+	return rand.Intn(10)
+}
+
+func suppressedTrailing() int {
+	return rand.Intn(10) //lint:ignore globalrand trailing-form suppression
+}

@@ -1,0 +1,3 @@
+module dcpim
+
+go 1.22

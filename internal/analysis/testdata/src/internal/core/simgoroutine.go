@@ -1,0 +1,40 @@
+// Package core mirrors a sim-path package so the simgoroutine analyzer
+// fires on it.
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+func spawn(work func()) {
+	go work() // want "go statement on the sim path"
+}
+
+func adHocJoin(tasks []func()) {
+	var wg sync.WaitGroup // want "sync.WaitGroup on the sim path"
+	for _, t := range tasks {
+		wg.Add(1)
+		go func() { // want "go statement on the sim path"
+			defer wg.Done()
+			t()
+		}()
+	}
+	wg.Wait()
+}
+
+type pacer struct {
+	t *time.Timer // want "time.Timer is a host-clock timer"
+	k time.Ticker // want "time.Ticker is a host-clock timer"
+}
+
+// mutexes guard shared state without racing the event order; they stay legal.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func suppressedSpawn(work func()) {
+	//lint:ignore simgoroutine fixture: sanctioned spawn point under test
+	go work()
+}

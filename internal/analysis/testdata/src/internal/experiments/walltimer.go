@@ -1,0 +1,17 @@
+// Package experiments mirrors the real internal/experiments package path
+// so the wallclock analyzer's single-function allowlist can be exercised.
+package experiments
+
+import "time"
+
+// WallTimer is the allowlisted host-timing bridge: its body may read the
+// wall clock, and nothing else in internal/ may.
+func WallTimer() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+// NotAllowlisted proves the exemption is the function, not the package.
+func NotAllowlisted() time.Time {
+	return time.Now() // want "time.Now reads the host clock inside internal/"
+}

@@ -1,0 +1,99 @@
+// Package matching mirrors a digest-path package so the maprange analyzer
+// fires on it.
+package matching
+
+import (
+	"sort"
+)
+
+func bad(m map[int]string, out []int) []int {
+	for k := range m { // want "map iteration order is random"
+		out = append(out, k*2) // collected but never sorted
+	}
+	for k, v := range m { // want "map iteration order is random"
+		if v != "" {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// collectNoSort appends keys but never sorts: still a finding.
+func collectNoSort(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want "map iteration order is random"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectAndSort is the sanctioned idiom: no annotation needed.
+func collectAndSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// collectAndSliceSort uses sort.Slice on key-value pairs.
+func collectAndSliceSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// bareRange never binds the key, so order cannot be observed.
+func bareRange(m map[int]string) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// annotated folds are order-insensitive by construction.
+func annotated(m map[int]int64) int64 {
+	var total int64
+	//lint:deterministic int64 sum: map order cannot affect the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// ignoredForm also accepts the generic ignore directive.
+func ignoredForm(m map[int]int64) int64 {
+	var total int64
+	//lint:ignore maprange commutative sum, checked in review
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// inClosure checks that the sort scan uses the innermost function body.
+func inClosure(m map[int]string) func() []int {
+	return func() []int {
+		var keys []int
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		return keys
+	}
+}
+
+// sortBeforeNotAfter: a sort that happens before the loop does not bless it.
+func sortBeforeNotAfter(m map[int]string) []int {
+	var keys []int
+	sort.Ints(keys)
+	for k := range m { // want "map iteration order is random"
+		keys = append(keys, k)
+	}
+	return keys
+}

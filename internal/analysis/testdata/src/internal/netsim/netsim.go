@@ -1,0 +1,24 @@
+// Package netsim is a stub of the real dcpim/internal/netsim: the
+// ObserverFuncs adapter the packetown analyzer recognizes by type.
+package netsim
+
+import "dcpim/internal/packet"
+
+type Observer interface {
+	PacketInjected(host int, p *packet.Packet)
+	PacketDelivered(host int, p *packet.Packet)
+	PacketDropped(p *packet.Packet)
+	PacketTrimmed(p *packet.Packet)
+}
+
+type ObserverFuncs struct {
+	Injected  func(host int, p *packet.Packet)
+	Delivered func(host int, p *packet.Packet)
+	Dropped   func(p *packet.Packet)
+	Trimmed   func(p *packet.Packet)
+}
+
+func (o ObserverFuncs) PacketInjected(host int, p *packet.Packet)  {}
+func (o ObserverFuncs) PacketDelivered(host int, p *packet.Packet) {}
+func (o ObserverFuncs) PacketDropped(p *packet.Packet)             {}
+func (o ObserverFuncs) PacketTrimmed(p *packet.Packet)             {}

@@ -1,0 +1,91 @@
+// Package demo is the packetown fixture: a fake protocol exercising the
+// pool ownership contract.
+package demo
+
+import (
+	"sync"
+
+	"dcpim/internal/netsim"
+	"dcpim/internal/packet"
+)
+
+type Proto struct {
+	buf   []*packet.Packet
+	later func(func())
+}
+
+// OnPacket with a Keep/ReleaseUnlessKept conflict and a synchronous
+// release: both findings.
+func (p *Proto) OnPacket(pkt *packet.Packet) {
+	pkt.Keep()
+	packet.ReleaseUnlessKept(pkt) // want "Keep\\(\\)ed in this handler and also passed to ReleaseUnlessKept" "that is the fabric's own release point"
+}
+
+type Proto2 struct{ later func(func()) }
+
+// OnPacket that releases synchronously: use-after-free against the fabric.
+func (p *Proto2) OnPacket(pkt *packet.Packet) {
+	packet.Release(pkt) // want "synchronous packet.Release inside OnPacket"
+}
+
+type Proto3 struct {
+	buf   []*packet.Packet
+	later func(func())
+}
+
+// OnPacket that keeps the packet and consumes it from a scheduled
+// closure: the sanctioned pattern, no findings.
+func (p *Proto3) OnPacket(pkt *packet.Packet) {
+	pkt.Keep()
+	p.buf = append(p.buf, pkt)
+	p.later(func() {
+		for _, q := range p.buf {
+			packet.Release(q)
+		}
+		p.buf = p.buf[:0]
+	})
+}
+
+// keepConflictHelper shows the conflict is caught in any function, not
+// just OnPacket bodies.
+func keepConflictHelper(pkt *packet.Packet) {
+	packet.ReleaseUnlessKept(pkt) // want "Keep\\(\\)ed in this handler and also passed to ReleaseUnlessKept"
+	pkt.Keep()
+}
+
+// fabricDeliver mimics the fabric's own release point: without a Keep in
+// the same body, ReleaseUnlessKept is legal.
+func fabricDeliver(pkt *packet.Packet) {
+	packet.ReleaseUnlessKept(pkt)
+}
+
+// observer hooks must not recycle either.
+type probe struct{ pool sync.Pool }
+
+func (pr *probe) PacketDropped(p *packet.Packet) {
+	packet.Release(p) // want "synchronous packet.Release inside PacketDropped"
+}
+
+func (pr *probe) PacketDelivered(host int, p *packet.Packet) {
+	pr.pool.Put(p) // want "sync.Pool Put inside PacketDelivered"
+}
+
+func observerFuncsLiteral() netsim.Observer {
+	return netsim.ObserverFuncs{
+		Dropped: func(p *packet.Packet) {
+			packet.Release(p) // want "synchronous packet.Release inside ObserverFuncs.Dropped"
+		},
+		Delivered: func(host int, p *packet.Packet) {
+			// Copy-only observers are the contract.
+			_ = p.Kind
+		},
+	}
+}
+
+type Proto4 struct{}
+
+// suppression works on packetown too.
+func (p *Proto4) OnPacket(pkt *packet.Packet) {
+	//lint:ignore packetown fixture: protocol guarantees the fabric dropped its reference
+	packet.Release(pkt)
+}

@@ -1,0 +1,23 @@
+// Package wallclock is a dcpimlint fixture under internal/, where the
+// wallclock analyzer forbids host-clock reads.
+package wallclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                 // want "time.Now reads the host clock inside internal/"
+	time.Sleep(time.Millisecond)   // want "time.Sleep reads the host clock"
+	_ = time.After(time.Second)    // want "time.After reads the host clock"
+	_ = time.NewTimer(time.Second) // want "time.NewTimer reads the host clock"
+	_ = time.Since(time.Time{})    // want "time.Since reads the host clock"
+}
+
+func good(d time.Duration) time.Duration {
+	// Types and pure conversions are legal; only clock reads are not.
+	return d + 3*time.Millisecond
+}
+
+func suppressed() {
+	//lint:ignore wallclock fixture demonstrates a justified suppression
+	time.Sleep(time.Millisecond)
+}

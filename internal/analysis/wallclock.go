@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Wallclock forbids reading or acting on the host's wall clock inside
+// internal/ packages: the simulation has exactly one notion of time
+// (sim.Time, advanced by the event engine), and a stray time.Now or
+// time.Sleep either breaks determinism or stalls an engine worker.
+// Host-side timing (progress reporting in cmd/) is out of scope, and the
+// single sanctioned bridge is experiments.WallTimer — an allowlisted
+// function, not a file glob, so the exemption cannot grow silently.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep and timer constructors in internal/ " +
+		"packages; sim.Time is the only clock (experiments.WallTimer excepted)",
+	Run: runWallclock,
+}
+
+// wallclockForbidden are the package-level time functions that read or
+// wait on the host clock. Types (time.Duration, time.Time) and pure
+// conversions remain legal.
+var wallclockForbidden = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// wallclockAllowed lists the functions whose bodies may touch the wall
+// clock: package path → function name. Keep this to exactly the
+// experiments.WallTimer bridge.
+var wallclockAllowed = map[string]map[string]bool{
+	modulePath + "/internal/experiments": {"WallTimer": true},
+}
+
+func runWallclock(pass *Pass) error {
+	if !hasPathPrefix(pass.Pkg.Path(), modulePath+"/internal") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if allowed := wallclockAllowed[pass.Pkg.Path()]; allowed[fd.Name.Name] && fd.Recv == nil {
+					continue
+				}
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				if wallclockForbidden[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the host clock inside internal/; use sim.Time (or experiments.WallTimer for host-side reporting)",
+						fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -223,6 +223,7 @@ func (r *receiver) onEpochStart(e int64) {
 	// re-enter the demand pool and are re-admitted at the window start
 	// when the sender is next matched (§3.2 loss recovery). Per-flow state
 	// is independent, so map order is harmless here.
+	//lint:deterministic per-flow reverts touch disjoint state; counters are commutative sums
 	for _, f := range r.flows {
 		if f.done {
 			continue
@@ -242,14 +243,16 @@ func (r *receiver) onEpochStart(e int64) {
 		}
 	}
 	// Swap in the matching computed during the previous epoch.
+	//lint:deterministic cancel is idempotent per loop; heap extraction order is keyed by (time,seq), not removal order
 	for _, l := range r.loops {
 		l.timer.Cancel()
 	}
 	r.matchedNow = r.matchedNext
 	r.matchedNext = make(map[int]int)
 	total := 0
+	//lint:deterministic int sum: map order cannot affect the result
 	for _, ch := range r.matchedNow {
-		total += ch // int sum: map order cannot affect the result
+		total += ch
 	}
 	r.p.ins.matchedChannels.Add(int64(total - r.matchedTotal))
 	r.matchedTotal = total
@@ -289,6 +292,7 @@ func (r *receiver) fireLoop(l *tokenLoop) {
 	var best *recvFlow
 	var bestSeq int
 	w := r.window(l.channels)
+	//lint:deterministic min fold with flow-id tie-break below: the chosen flow is unique
 	for _, f := range r.bySender[l.src] {
 		if f.done || !f.eligible || f.outstanding >= w {
 			continue
@@ -388,8 +392,10 @@ func (r *receiver) requestStage(epoch int64, round int) {
 // bookkeeping).
 func (r *receiver) computePlanned() map[int]int64 {
 	planned := make(map[int]int64)
+	//lint:deterministic builds a map keyed per sender; consumers iterate it via sortedKeys
 	for src, flows := range r.bySender {
 		var sum int64
+		//lint:deterministic commutative sum of per-flow demand
 		for _, f := range flows {
 			if f.done || !f.eligible {
 				continue
@@ -408,6 +414,7 @@ func (r *receiver) computePlanned() map[int]int64 {
 
 func (r *receiver) minRemainingFrom(src int) int64 {
 	best := int64(1) << 62
+	//lint:deterministic min fold over int64 remaining: order-insensitive
 	for _, f := range r.bySender[src] {
 		if f.done || !f.eligible {
 			continue

@@ -39,9 +39,11 @@ func RunMany(specs []RunSpec, workers int) []RunResult {
 		return results
 	}
 	var next atomic.Int64
+	//lint:ignore simgoroutine RunMany is the sanctioned sweep-level worker pool; each worker owns whole runs
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		//lint:ignore simgoroutine RunMany's workers never share a fabric; parallelism is across independent runs
 		go func() {
 			defer wg.Done()
 			for {

@@ -351,6 +351,7 @@ func (p *Proto) grantTick() {
 // ordered.
 func (p *Proto) grantCandidates() []*rxState {
 	var cands []*rxState
+	//lint:deterministic filtered collect; the sort below totally orders by (remaining, flow id)
 	for _, f := range p.rx {
 		if f.Done || f.NeededCnt() <= 0 {
 			continue
@@ -438,6 +439,7 @@ func (p *Proto) spendCredit() {
 // is active, how many flows still have grantable work, and the total
 // outstanding (credited, unreceived) packets.
 func (p *Proto) DiagState() (granting bool, candidates, outstanding int) {
+	//lint:deterministic commutative counts and sums over per-flow state
 	for _, f := range p.rx {
 		if f.Done {
 			continue

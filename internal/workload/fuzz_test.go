@@ -53,11 +53,11 @@ func FuzzDistSample(f *testing.F) {
 	}
 	f.Add(int64(1), valid(CDFPoint{1436, 0.5}, CDFPoint{14360, 1}))
 	f.Add(int64(2), valid(CDFPoint{100, 0.1}, CDFPoint{1000, 0.6}, CDFPoint{1 << 30, 1}))
-	f.Add(int64(3), valid(CDFPoint{5000, 0.9}, CDFPoint{200, 1}))       // non-increasing size
-	f.Add(int64(4), valid(CDFPoint{0, 0.5}, CDFPoint{10, 1}))          // zero size
-	f.Add(int64(5), valid(CDFPoint{-44, 0.5}, CDFPoint{10, 1}))        // negative size
-	f.Add(int64(6), valid(CDFPoint{10, 0.5}, CDFPoint{20, 0.5}))       // flat prob, no 1
-	f.Add(int64(7), []byte{0, 1, 2, 3})                                // short tail
+	f.Add(int64(3), valid(CDFPoint{5000, 0.9}, CDFPoint{200, 1})) // non-increasing size
+	f.Add(int64(4), valid(CDFPoint{0, 0.5}, CDFPoint{10, 1}))     // zero size
+	f.Add(int64(5), valid(CDFPoint{-44, 0.5}, CDFPoint{10, 1}))   // negative size
+	f.Add(int64(6), valid(CDFPoint{10, 0.5}, CDFPoint{20, 0.5}))  // flat prob, no 1
+	f.Add(int64(7), []byte{0, 1, 2, 3})                           // short tail
 	f.Add(int64(8), valid(CDFPoint{math.MaxInt64 - 1, 0.5}, CDFPoint{math.MaxInt64, 1}))
 	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
 		pts := decodePoints(raw)
