@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dcpim/internal/experiments"
+	"dcpim/internal/sim"
 )
 
 func main() {
@@ -41,12 +42,34 @@ func main() {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsDir = flag.String("metrics", "", "write per-run telemetry (CSV time series + JSON report) into this directory")
 		benchjson  = flag.String("benchjson", "", "run the substrate benchmark suite and write BENCH_<name>.json files into this directory, then exit")
+		benchcheck = flag.String("benchcheck", "", "re-run the substrate benchmarks against the baseline BENCH_*.json files in this directory and exit nonzero on a >10% ns/op regression")
+		queue      = flag.String("queue", "auto", "engine event-queue discipline: auto, heap, or ladder; output is identical under any setting")
 	)
 	flag.Parse()
+
+	var qd sim.QueueDiscipline
+	switch *queue {
+	case "", "auto":
+		qd = sim.QueueAuto
+	case "heap":
+		qd = sim.QueueHeap
+	case "ladder":
+		qd = sim.QueueLadder
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -queue %q (want auto, heap, or ladder)\n", *queue)
+		os.Exit(2)
+	}
 
 	if *benchjson != "" {
 		if err := experiments.WriteBenchJSON(*benchjson, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchcheck != "" {
+		if err := experiments.CheckBenchJSON(*benchcheck, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -86,7 +109,7 @@ func main() {
 
 	opts := experiments.Options{
 		Seed: *seed, Scale: *scale, Hosts: *hosts, Workers: *parallel,
-		Shards: *shards, MetricsDir: *metricsDir,
+		Shards: *shards, MetricsDir: *metricsDir, Queue: qd,
 	}
 	var todo []experiments.Experiment
 	if *run == "all" {

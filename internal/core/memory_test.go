@@ -1,0 +1,86 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"dcpim/internal/sim"
+	"dcpim/internal/topo"
+	"dcpim/internal/workload"
+)
+
+// bytesPerFlowBudget is the enforced steady-state memory cost per
+// completed flow (see DESIGN.md §13). With flow records slab-recycled
+// and per-packet state bit-packed, what remains per flow after
+// completion is the collector's FlowRecord (~72 B), the receiver's
+// done-flow id, and amortized map/slice growth. The budget leaves
+// roughly 2× headroom over the measured figure so it catches regressions
+// (a leaked record or timer per flow costs hundreds of bytes), not
+// allocator noise.
+const bytesPerFlowBudget = 600
+
+// TestSteadyStateBytesPerFlow measures the marginal heap cost per flow
+// at steady state: run a warmup wave (populating slabs, buffers, and
+// maps), snapshot the live heap, run more waves of the same shape, and
+// require the live-heap delta per additional completed flow to stay
+// under the budget. Slab recycling is what makes this pass — before it,
+// every flow left its record, packed state, and timer closures behind.
+func TestSteadyStateBytesPerFlow(t *testing.T) {
+	cfgT := topo.SmallLeafSpine()
+	h := newHarness(cfgT, DefaultConfig(), 11)
+
+	gen := func(seed int64, start sim.Duration) *workload.Trace {
+		tr := workload.AllToAllConfig{
+			Hosts: 8, HostRate: cfgT.HostRate, Load: 0.5,
+			Dist: workload.IMC10(), Horizon: 2 * sim.Millisecond, Seed: seed,
+		}.Generate()
+		for i := range tr.Flows {
+			tr.Flows[i].Arrival = tr.Flows[i].Arrival.Add(start)
+			tr.Flows[i].ID += uint64(seed) << 32 // unique across waves
+		}
+		return tr
+	}
+
+	heapLive := func() uint64 {
+		runtime.GC()
+		runtime.GC() // second cycle collects what the first's finalizers released
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return m.HeapAlloc
+	}
+
+	wave := sim.Duration(3 * sim.Millisecond) // 2 ms arrivals + 1 ms drain
+	h.run(gen(1, 0), wave)
+	warmup := h.col.Completed()
+	if warmup == 0 {
+		t.Fatal("warmup wave completed no flows")
+	}
+	base := heapLive()
+
+	const waves = 4
+	for w := int64(0); w < waves; w++ {
+		h.fab.Inject(gen(2+w, sim.Duration(int64(wave)*(w+1))))
+		h.eng.Run(sim.Time(sim.Duration(int64(wave) * (w + 2))))
+	}
+	grown := heapLive()
+
+	flows := h.col.Completed() - warmup
+	if flows < 1000 {
+		t.Fatalf("only %d steady-state flows; wave shape too small to measure", flows)
+	}
+	var perFlow int64
+	if grown > base {
+		perFlow = int64(grown-base) / flows
+	}
+	t.Logf("steady state: %d flows, live heap %d → %d, %d B/flow (budget %d)",
+		flows, base, grown, perFlow, bytesPerFlowBudget)
+	if perFlow > bytesPerFlowBudget {
+		t.Fatalf("steady-state cost %d B/flow exceeds the %d B/flow budget",
+			perFlow, bytesPerFlowBudget)
+	}
+	// The records the collector must keep forever are the budget's floor;
+	// sanity-check the measurement itself is not vacuous.
+	if len(h.col.Records()) == 0 {
+		t.Fatal("collector kept no records; measurement is vacuous")
+	}
+}

@@ -24,17 +24,19 @@ type recvFlow struct {
 	npkts   int
 	short   bool
 
-	state        []uint8
+	state        twoBits    // 2 bits per packet: seqUntokened/Tokened/Received (slab.go)
 	tokened      []tokenRef // FIFO of issued tokens (lazy cleanup)
 	retx         []int      // reverted seqs awaiting re-admission
 	nextNew      int        // lowest never-tokened seq
+	senderIdx    int        // position in receiver.bySender[src] (swap-delete)
 	outstanding  int        // live tokens (sent, data not received)
 	untokenedCnt int
 	receivedCnt  int
 	receivedByte int64
 
-	eligible bool // participates in matching demand
-	done     bool
+	recoverTimer sim.Timer // short-flow recovery probe (cancelled on recycle)
+	eligible     bool      // participates in matching demand
+	done         bool
 }
 
 type tokenRef struct {
@@ -56,12 +58,12 @@ func (f *recvFlow) demandBytes() int64 {
 // nextCandidate returns the lowest seq needing a token, or -1.
 func (f *recvFlow) nextCandidate() int {
 	for len(f.retx) > 0 {
-		if s := f.retx[0]; f.state[s] == seqUntokened {
+		if s := f.retx[0]; f.state.get(s) == seqUntokened {
 			return s
 		}
 		f.retx = f.retx[1:]
 	}
-	for f.nextNew < f.npkts && f.state[f.nextNew] != seqUntokened {
+	for f.nextNew < f.npkts && f.state.get(f.nextNew) != seqUntokened {
 		f.nextNew++
 	}
 	if f.nextNew < f.npkts {
@@ -86,8 +88,19 @@ type tokenLoop struct {
 type receiver struct {
 	p *Proto
 
-	flows    map[uint64]*recvFlow
-	bySender map[int]map[uint64]*recvFlow
+	flows map[uint64]*recvFlow
+	// bySender lists each sender's live flows (swap-deleted via
+	// recvFlow.senderIdx on completion) — a slice instead of a nested map
+	// so the token loop's per-fire scan walks a dense array. Every fold
+	// over it is order-insensitive or id-tie-broken, so the slice's
+	// mutation order cannot leak into the packet stream.
+	bySender map[int][]*recvFlow
+	// doneFlows remembers completed flow ids forever: duplicates and
+	// finish retransmissions must keep resolving as "done" after the flow
+	// record itself has been recycled. One map entry per completed flow
+	// is the irreducible long-run cost.
+	doneFlows map[uint64]struct{}
+	freeFlows []*recvFlow // recycled records (slab.go)
 
 	// Matching state for epoch matchEpoch.
 	matchEpoch  int64
@@ -105,35 +118,40 @@ type receiver struct {
 func (r *receiver) init(p *Proto) {
 	r.p = p
 	r.flows = make(map[uint64]*recvFlow)
-	r.bySender = make(map[int]map[uint64]*recvFlow)
+	r.bySender = make(map[int][]*recvFlow)
+	r.doneFlows = make(map[uint64]struct{})
 	r.planned = make(map[int]int64)
 	r.matchedNow = make(map[int]int)
 	r.matchedNext = make(map[int]int)
 	r.loops = make(map[int]*tokenLoop)
 }
 
-// ensure returns the flow state for pkt, creating it lazily (data can
-// arrive before its notification under spraying).
+// ensure returns the live flow state for pkt, creating it lazily (data
+// can arrive before its notification under spraying), or nil when the
+// flow already completed — callers must treat nil as "done, ignore".
 func (r *receiver) ensure(pkt *packet.Packet) *recvFlow {
 	if f, ok := r.flows[pkt.Flow]; ok {
 		return f
 	}
+	if _, done := r.doneFlows[pkt.Flow]; done {
+		return nil
+	}
 	n := packet.PacketsForBytes(pkt.FlowSize)
-	f := &recvFlow{
-		id: pkt.Flow, src: pkt.Src, size: pkt.FlowSize, arrival: pkt.SentAt,
-		npkts: n, short: pkt.FlowSize <= r.p.tm.shortThresh,
-		state: make([]uint8, n), untokenedCnt: n,
-	}
+	f := r.newRecvFlow()
+	f.id, f.src, f.size, f.arrival = pkt.Flow, pkt.Src, pkt.FlowSize, pkt.SentAt
+	f.npkts, f.short = n, pkt.FlowSize <= r.p.tm.shortThresh
+	f.state = f.state.grow(n)
+	f.untokenedCnt = n
 	r.flows[f.id] = f
-	if r.bySender[f.src] == nil {
-		r.bySender[f.src] = make(map[uint64]*recvFlow)
-	}
-	r.bySender[f.src][f.id] = f
+	f.senderIdx = len(r.bySender[f.src])
+	r.bySender[f.src] = append(r.bySender[f.src], f)
 
 	if f.short {
 		// Short flows arrive unsolicited; if anything is missing after a
-		// full data RTT, recover through the matching path (§3.2).
-		r.p.eng.After(r.p.tm.dataRTT, func() {
+		// full data RTT, recover through the matching path (§3.2). Held in
+		// recoverTimer so recycling can cancel it before the record is
+		// reused.
+		f.recoverTimer = r.p.eng.After(r.p.tm.dataRTT, func() {
 			if !f.done {
 				f.eligible = true
 				r.addPlanned(f.src, f.demandBytes())
@@ -164,9 +182,8 @@ func (r *receiver) onNotification(n *packet.Packet) {
 }
 
 func (r *receiver) onFinishSender(fin *packet.Packet) {
-	f := r.flows[fin.Flow]
-	if f == nil || !f.done {
-		return // incomplete: stay silent, recovery will finish the flow
+	if _, done := r.doneFlows[fin.Flow]; !done {
+		return // incomplete or unknown: stay silent, recovery will finish the flow
 	}
 	out := packet.NewControl(packet.FinishReceiver, r.p.id, fin.Src, fin.Flow)
 	r.p.send(out)
@@ -174,16 +191,16 @@ func (r *receiver) onFinishSender(fin *packet.Packet) {
 
 func (r *receiver) onData(d *packet.Packet) {
 	f := r.ensure(d)
-	if f.done || d.Seq < 0 || d.Seq >= f.npkts || f.state[d.Seq] == seqReceived {
+	if f == nil || d.Seq < 0 || d.Seq >= f.npkts || f.state.get(d.Seq) == seqReceived {
 		return
 	}
-	if f.state[d.Seq] == seqTokened {
+	if f.state.get(d.Seq) == seqTokened {
 		f.outstanding--
 		r.p.ins.tokensOutstanding.Add(-1)
 	} else {
 		f.untokenedCnt--
 	}
-	f.state[d.Seq] = seqReceived
+	f.state.set(d.Seq, seqReceived)
 	f.receivedCnt++
 	payload := int64(d.Size) - packet.HeaderSize
 	if d.Trimmed {
@@ -208,12 +225,20 @@ func (r *receiver) complete(f *recvFlow) {
 		ID: f.id, Src: f.src, Dst: r.p.id, Size: f.size,
 		Arrival: f.arrival, Finish: r.p.eng.Now(), Optimal: opt,
 	})
-	// Free bulk state; keep the entry so duplicates and finish packets
-	// resolve against a completed flow.
-	f.state = nil
-	f.retx = nil
-	f.tokened = nil
-	delete(r.bySender[f.src], f.id)
+	// Remember only the id — duplicates and finish retransmissions
+	// resolve through doneFlows — and recycle the whole record.
+	r.doneFlows[f.id] = struct{}{}
+	delete(r.flows, f.id)
+	peers := r.bySender[f.src]
+	last := len(peers) - 1
+	if i := f.senderIdx; i != last {
+		moved := peers[last]
+		peers[i] = moved
+		moved.senderIdx = i
+	}
+	peers[last] = nil
+	r.bySender[f.src] = peers[:last]
+	r.recycleRecvFlow(f)
 }
 
 // ---- data phase: token clocking ----
@@ -231,10 +256,10 @@ func (r *receiver) onEpochStart(e int64) {
 		for len(f.tokened) > 0 && f.tokened[0].epoch < e {
 			tr := f.tokened[0]
 			f.tokened = f.tokened[1:]
-			if f.state[tr.seq] != seqTokened {
+			if f.state.get(tr.seq) != seqTokened {
 				continue // already received
 			}
-			f.state[tr.seq] = seqUntokened
+			f.state.set(tr.seq, seqUntokened)
 			f.untokenedCnt++
 			f.outstanding--
 			r.p.ins.tokensReverted.Inc()
@@ -292,9 +317,8 @@ func (r *receiver) fireLoop(l *tokenLoop) {
 	var best *recvFlow
 	var bestSeq int
 	w := r.window(l.channels)
-	//lint:deterministic min fold with flow-id tie-break below: the chosen flow is unique
 	for _, f := range r.bySender[l.src] {
-		if f.done || !f.eligible || f.outstanding >= w {
+		if !f.eligible || f.outstanding >= w {
 			continue
 		}
 		seq := f.nextCandidate()
@@ -322,7 +346,7 @@ func (r *receiver) issueToken(l *tokenLoop, f *recvFlow, seq int) {
 	if len(f.retx) > 0 && f.retx[0] == seq {
 		f.retx = f.retx[1:]
 	}
-	f.state[seq] = seqTokened
+	f.state.set(seq, seqTokened)
 	f.untokenedCnt--
 	f.outstanding++
 	r.p.ins.tokensIssued.Inc()
@@ -395,9 +419,8 @@ func (r *receiver) computePlanned() map[int]int64 {
 	//lint:deterministic builds a map keyed per sender; consumers iterate it via sortedKeys
 	for src, flows := range r.bySender {
 		var sum int64
-		//lint:deterministic commutative sum of per-flow demand
 		for _, f := range flows {
-			if f.done || !f.eligible {
+			if !f.eligible {
 				continue
 			}
 			sum += f.demandBytes()
@@ -414,9 +437,8 @@ func (r *receiver) computePlanned() map[int]int64 {
 
 func (r *receiver) minRemainingFrom(src int) int64 {
 	best := int64(1) << 62
-	//lint:deterministic min fold over int64 remaining: order-insensitive
 	for _, f := range r.bySender[src] {
-		if f.done || !f.eligible {
+		if !f.eligible {
 			continue
 		}
 		if rem := f.remaining(); rem < best {

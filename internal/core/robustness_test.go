@@ -82,7 +82,7 @@ func TestPopValidTokenExpiry(t *testing.T) {
 
 	// Install a fake flow and tokens.
 	f := &sendFlow{id: 9, dst: 1, size: 100_000, npkts: 10}
-	f.sent = make([]bool, 10)
+	f.sent = f.sent.grow(10)
 	s.flows[9] = f
 	s.dataEpoch = 5
 	// Advance the engine clock past epoch 5's grace window.
@@ -109,23 +109,24 @@ func TestPopValidTokenExpiry(t *testing.T) {
 // Unit test of the receiver's candidate selection: retransmissions come
 // before fresh sequence numbers, and received seqs are skipped.
 func TestRecvFlowCandidateOrder(t *testing.T) {
-	f := &recvFlow{npkts: 6, state: make([]uint8, 6), untokenedCnt: 6}
+	f := &recvFlow{npkts: 6, untokenedCnt: 6}
+	f.state = f.state.grow(6)
 	if s := f.nextCandidate(); s != 0 {
 		t.Fatalf("first candidate %d, want 0", s)
 	}
-	f.state[0] = seqReceived
-	f.state[1] = seqTokened
+	f.state.set(0, seqReceived)
+	f.state.set(1, seqTokened)
 	if s := f.nextCandidate(); s != 2 {
 		t.Fatalf("candidate %d, want 2", s)
 	}
 	// A reverted seq jumps the queue.
-	f.state[1] = seqUntokened
+	f.state.set(1, seqUntokened)
 	f.retx = append(f.retx, 1)
 	if s := f.nextCandidate(); s != 1 {
 		t.Fatalf("candidate %d, want reverted 1", s)
 	}
 	// If the reverted seq has meanwhile been received, it is skipped.
-	f.state[1] = seqReceived
+	f.state.set(1, seqReceived)
 	if s := f.nextCandidate(); s != 2 {
 		t.Fatalf("candidate %d, want 2 after stale retx", s)
 	}

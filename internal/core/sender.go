@@ -15,7 +15,8 @@ import (
 type sender struct {
 	p *Proto
 
-	flows map[uint64]*sendFlow
+	flows     map[uint64]*sendFlow
+	freeFlows []*sendFlow // recycled records (slab.go)
 
 	// Token queue (FIFO as issued by receivers, which already order their
 	// token streams by SRPT).
@@ -47,12 +48,13 @@ type sendFlow struct {
 	npkts   int
 	short   bool
 
-	sent    []bool
+	sent    bitset // 1 bit per packet (slab.go)
 	sentCnt int
 
 	notifAcked bool
 	notifTimer sim.Timer
 	finTimer   sim.Timer
+	burstTimer sim.Timer // short-flow burst-serialized finish probe
 	finSent    bool
 	done       bool
 }
@@ -71,12 +73,11 @@ func (s *sender) init(p *Proto) {
 // flowArrival starts a new outgoing flow: notify the receiver and, for
 // short flows, blast the payload immediately at the short-flow priority.
 func (s *sender) flowArrival(fl workload.Flow) {
-	f := &sendFlow{
-		id: fl.ID, dst: fl.Dst, size: fl.Size, arrival: fl.Arrival,
-		npkts: packet.PacketsForBytes(fl.Size),
-		short: fl.Size <= s.p.tm.shortThresh,
-	}
-	f.sent = make([]bool, f.npkts)
+	f := s.newSendFlow()
+	f.id, f.dst, f.size, f.arrival = fl.ID, fl.Dst, fl.Size, fl.Arrival
+	f.npkts = packet.PacketsForBytes(fl.Size)
+	f.short = fl.Size <= s.p.tm.shortThresh
+	f.sent = f.sent.grow(f.npkts)
 	s.flows[f.id] = f
 
 	s.sendNotification(f)
@@ -85,10 +86,12 @@ func (s *sender) flowArrival(fl workload.Flow) {
 		for seq := 0; seq < f.npkts; seq++ {
 			s.transmitData(f, seq, packet.PrioShort)
 		}
-		// First finish once the burst has serialized out of the NIC.
+		// First finish once the burst has serialized out of the NIC. Held
+		// in burstTimer so recycling can cancel it: were it left live, a
+		// late fire would probe whatever flow reuses the record.
 		txAll := sim.TransmissionTime(int(f.size)+f.npkts*packet.HeaderSize,
 			s.p.host.LineRate())
-		s.p.eng.After(txAll+s.p.tm.mtuTime, func() { s.maybeFinish(f) })
+		f.burstTimer = s.p.eng.After(txAll+s.p.tm.mtuTime, func() { s.maybeFinish(f) })
 	}
 }
 
@@ -129,8 +132,8 @@ func (s *sender) transmitData(f *sendFlow, seq int, prio uint8) {
 	} else {
 		s.p.ins.schedBytes.Add(int64(d.Size))
 	}
-	if !f.sent[seq] {
-		f.sent[seq] = true
+	if !f.sent.get(seq) {
+		f.sent.set(seq)
 		f.sentCnt++
 	}
 	s.p.send(d)
@@ -162,9 +165,11 @@ func (s *sender) onFinishReceiver(pkt *packet.Packet) {
 		return
 	}
 	f.done = true
-	f.finTimer.Cancel()
-	f.notifTimer.Cancel()
 	delete(s.flows, f.id)
+	// Tokens still queued for the flow resolve through s.flows (nil →
+	// discarded by popValidToken), never through the record, so it can
+	// recycle immediately; recycleSendFlow cancels the timers.
+	s.recycleSendFlow(f)
 }
 
 // onToken queues an admission token and kicks the pacer. The token

@@ -70,6 +70,11 @@ type Options struct {
 	// instrumented experiments: each labeled run writes its sampled CSV
 	// series and JSON report under this directory.
 	MetricsDir string
+	// Queue selects the engine event-queue discipline (heap, ladder, or
+	// auto-pick from expected event density). Execution order — and thus
+	// every digest — is identical under either discipline; only wall-clock
+	// time changes. See DESIGN.md §13.
+	Queue sim.QueueDiscipline
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -113,10 +118,11 @@ type RunSpec struct {
 	Trace    *workload.Trace
 	Horizon  sim.Duration // total run time (trace horizon + drain)
 	Seed     int64
-	Shards   int            // fabric shard count (0 or 1 = serial)
-	BinWidth sim.Duration   // utilization series bin (0 = 10 µs)
-	DcPIM    *core.Config   // optional dcPIM parameter override
-	Fabric   *netsim.Config // optional fabric override
+	Shards   int                 // fabric shard count (0 or 1 = serial)
+	Queue    sim.QueueDiscipline // engine event-queue discipline (QueueAuto = pick by density)
+	BinWidth sim.Duration        // utilization series bin (0 = 10 µs)
+	DcPIM    *core.Config        // optional dcPIM parameter override
+	Fabric   *netsim.Config      // optional fabric override
 
 	// Faults, when set, is installed on the fabric before the run: the
 	// resilience experiment scripts link failures, loss bursts, switch
@@ -146,8 +152,14 @@ type RunResult struct {
 	Hosts    int
 	HostRate float64
 	Trace    *workload.Trace
-	End      sim.Time // simulation end (horizon)
-	Digest   uint64   // FNV-1a over the delivered-packet stream (RunSpec.Digest)
+	End      sim.Time            // simulation end (horizon)
+	Digest   uint64              // FNV-1a over the delivered-packet stream (RunSpec.Digest)
+	Events   uint64              // engine events executed, summed over shards
+	Queue    sim.QueueDiscipline // resolved event-queue discipline
+
+	// ShardStats profiles the barrier loop: per-shard event counts,
+	// staged boundary arrivals, and epochs dispatched versus idle-skipped.
+	ShardStats []netsim.ShardStats
 
 	// MetricsCSV / MetricsJSON hold the sampled time series and the
 	// end-of-run report when RunSpec.Metrics is set (nil otherwise).
@@ -209,9 +221,10 @@ func Run(spec RunSpec) RunResult {
 	if n < 1 {
 		n = 1
 	}
+	q := sim.PickQueue(spec.Queue, expectedPending(spec.Topo.NumHosts, n))
 	engines := make([]*sim.Engine, n)
 	for i := range engines {
-		engines[i] = sim.NewEngine(spec.Seed)
+		engines[i] = sim.NewEngineQueue(spec.Seed, q)
 	}
 	grp := sim.NewGroup(engines)
 	defer grp.Close()
@@ -296,23 +309,47 @@ func Run(spec RunSpec) RunResult {
 			digest = fnvMix(digest, d)
 		}
 	}
+	var events uint64
+	for _, eng := range engines {
+		events += eng.Events()
+	}
 	res := RunResult{
-		Digest:   digest,
-		Protocol: spec.Protocol,
-		Records:  col.Records(),
-		Col:      col,
-		Counters: fab.Counters,
-		Offered:  spec.Trace.OfferedBytes,
-		Started:  int64(len(spec.Trace.Flows)),
-		Hosts:    spec.Topo.NumHosts,
-		HostRate: spec.Topo.HostRate,
-		Trace:    spec.Trace,
-		End:      sim.Time(spec.Horizon),
+		Digest:     digest,
+		Events:     events,
+		Queue:      q,
+		ShardStats: fab.ShardStats(),
+		Protocol:   spec.Protocol,
+		Records:    col.Records(),
+		Col:        col,
+		Counters:   fab.Counters,
+		Offered:    spec.Trace.OfferedBytes,
+		Started:    int64(len(spec.Trace.Flows)),
+		Hosts:      spec.Topo.NumHosts,
+		HostRate:   spec.Topo.HostRate,
+		Trace:      spec.Trace,
+		End:        sim.Time(spec.Horizon),
 	}
 	if spec.Metrics != nil {
 		res.MetricsCSV, res.MetricsJSON = emitMetrics(spec, reg, smp)
 	}
 	return res
+}
+
+// pendingPerHost is the measured peak of engine-pending events per host
+// under the heaviest steady workloads used here (dcPIM all-to-all at load
+// 0.6 peaks near 19 pending events per host on both the 128- and
+// 1024-host FatTrees; see DESIGN.md §13). QueueAuto compares the
+// resulting per-engine estimate against sim.LadderDensityMin.
+const pendingPerHost = 19
+
+// expectedPending estimates peak pending events on one engine when hosts
+// are spread over n shards. The LPT partition keeps host counts within
+// one pod of even, so the mean is a faithful per-engine estimate.
+func expectedPending(hosts, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return pendingPerHost * hosts / n
 }
 
 // FNV-1a 64 folded over 8-byte words: cheap enough to run on every
@@ -355,6 +392,7 @@ func All() []Experiment {
 		{"fastpass", "§5 comparison: dcPIM vs Fastpass (centralized arbiter) short-flow latency", RunFastpass},
 		{"ablation", "dcPIM design ablations: FCT round on/off, token window sizing", RunAblation},
 		{"faults", "Fault resilience: FCT and completion vs fault intensity", RunFaults},
+		{"scale", "Hyperscale campaign: hosts × load × shards × queue discipline", RunScale},
 	}
 }
 

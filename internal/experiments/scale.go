@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dcpim/internal/sim"
+	"dcpim/internal/workload"
+)
+
+// ScaleResult is one cell of the hyperscale campaign, serialized into
+// BENCH_scale.json so CI can archive the scaling trajectory per commit.
+type ScaleResult struct {
+	Hosts        int     `json:"hosts"`
+	Load         float64 `json:"load"`
+	Shards       int     `json:"shards"`
+	Queue        string  `json:"queue"`
+	WallMS       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Flows        int64   `json:"flows"`
+	Completed    int64   `json:"completed"`
+	Epochs       uint64  `json:"epochs"`
+	SkippedPct   float64 `json:"skipped_pct"`
+	Digest       string  `json:"digest"`
+}
+
+// RunScale is the hyperscale campaign (DESIGN.md §13): it sweeps the
+// FatTree over hosts × load × shard count × queue discipline, reporting
+// wall time, event throughput, barrier profile (epochs dispatched vs
+// idle-skipped), and the delivered-stream digest for every cell. Within
+// one (hosts, load) group the digest must be identical across every
+// shard count and both disciplines — the run fails otherwise, making the
+// campaign itself a determinism check at scales the unit tests don't
+// reach.
+//
+// Flags narrow the sweep: -hosts and -shards pin those axes, and quick
+// passes (-scale < 1) keep only the low-load point — which is what the
+// CI smoke job runs (1024 hosts, 8 shards, both disciplines). With
+// -metrics DIR set, the machine-readable rows land in DIR/BENCH_scale.json.
+func RunScale(o Options, w io.Writer) error {
+	hostSet := []int{128, 1024}
+	if o.Hosts != 0 {
+		hostSet = []int{o.Hosts}
+	}
+	loads := []float64{0.3, 0.6}
+	if o.Scale > 0 && o.Scale < 1 {
+		loads = loads[:1]
+	}
+	shardsFor := func(hosts int) []int {
+		if o.Shards != 0 {
+			return []int{o.Shards}
+		}
+		if hosts >= 1024 {
+			return []int{1, 8, 16, 64}
+		}
+		return []int{1, 4, 8}
+	}
+	queues := []sim.QueueDiscipline{sim.QueueHeap, sim.QueueLadder}
+
+	horizon := o.scaled(100 * sim.Microsecond)
+	var rows []ScaleResult
+	fmt.Fprintf(w, "%6s %5s %7s %7s %10s %9s %12s %7s %8s  %s\n",
+		"hosts", "load", "shards", "queue", "wall_ms", "events", "events/s", "flows", "skipped", "digest")
+	for _, hosts := range hostSet {
+		tp := fatTreeFor(hosts)
+		for _, load := range loads {
+			tr := workload.AllToAllConfig{
+				Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: load,
+				Dist: workload.WebSearch(), Horizon: horizon, Seed: o.Seed,
+			}.Generate()
+			var groupDigest uint64
+			haveDigest := false
+			for _, shards := range shardsFor(hosts) {
+				for _, q := range queues {
+					elapsed := WallTimer()
+					res := Run(RunSpec{
+						Protocol: DCPIM, Topo: tp, Trace: tr,
+						Horizon: horizon + horizon/2, Seed: o.Seed + 7,
+						Shards: shards, Queue: q, Digest: true,
+					})
+					wall := elapsed()
+					if !haveDigest {
+						groupDigest, haveDigest = res.Digest, true
+					} else if res.Digest != groupDigest {
+						return fmt.Errorf("scale: hosts=%d load=%.1f shards=%d queue=%s digest %#016x diverges from group %#016x",
+							hosts, load, shards, q, res.Digest, groupDigest)
+					}
+					var dispatched, skipped, epochs uint64
+					for _, s := range res.ShardStats {
+						dispatched += s.Dispatched
+						skipped += s.Skipped
+						if n := s.Dispatched + s.Skipped; n > epochs {
+							epochs = n
+						}
+					}
+					var skippedPct float64
+					if dispatched+skipped > 0 {
+						skippedPct = 100 * float64(skipped) / float64(dispatched+skipped)
+					}
+					row := ScaleResult{
+						Hosts: hosts, Load: load, Shards: shards, Queue: q.String(),
+						WallMS:       float64(wall.Microseconds()) / 1000,
+						Events:       res.Events,
+						EventsPerSec: float64(res.Events) / wall.Seconds(),
+						Flows:        res.Started,
+						Completed:    res.Col.Completed(),
+						Epochs:       epochs,
+						SkippedPct:   skippedPct,
+						Digest:       fmt.Sprintf("%#016x", res.Digest),
+					}
+					rows = append(rows, row)
+					fmt.Fprintf(w, "%6d %5.1f %7d %7s %10.1f %9d %12.0f %7d %7.1f%%  %s\n",
+						hosts, load, shards, q, row.WallMS, row.Events,
+						row.EventsPerSec, row.Flows, row.SkippedPct, row.Digest)
+				}
+			}
+		}
+	}
+	if o.MetricsDir != "" {
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		path := filepath.Join(o.MetricsDir, "BENCH_scale.json")
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d rows)\n", path, len(rows))
+	}
+	return nil
+}

@@ -2,10 +2,37 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"dcpim/internal/metrics"
 	"dcpim/internal/packet"
 )
+
+// portNameTab interns the per-port gauge names. A 1024-host FatTree has
+// 5120 switch ports, and a sweep re-registers the same names for every
+// (load, shard, seed) cell; the table formats each name once per process
+// instead of once per run. Guarded by a mutex because RunMany registers
+// several runs' metrics concurrently.
+var portNameTab struct {
+	mu    sync.Mutex
+	names [][]string // [switch][port]
+}
+
+func portName(si, pi int) string {
+	t := &portNameTab
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.names) <= si {
+		t.names = append(t.names, nil)
+	}
+	for len(t.names[si]) <= pi {
+		t.names[si] = append(t.names[si], "")
+	}
+	if t.names[si][pi] == "" {
+		t.names[si][pi] = fmt.Sprintf("netsim/sw%d/port%d/queue_bytes", si, pi)
+	}
+	return t.names[si][pi]
+}
 
 // RegisterMetrics instruments the fabric on reg: a computed queue-depth
 // gauge per switch output port, aggregate NIC and fabric occupancy, the
@@ -24,7 +51,7 @@ func (f *Fabric) RegisterMetrics(reg *metrics.Registry) {
 	for si, sw := range f.switches {
 		for pi, port := range sw.ports {
 			port := port
-			reg.GaugeFunc(fmt.Sprintf("netsim/sw%d/port%d/queue_bytes", si, pi),
+			reg.GaugeFunc(portName(si, pi),
 				func() float64 { return float64(port.queuedBytes) })
 		}
 	}
@@ -57,6 +84,32 @@ func (f *Fabric) RegisterMetrics(reg *metrics.Registry) {
 		mo.prioDrops[pr] = reg.Counter(fmt.Sprintf("netsim/drops/prio%d", pr))
 	}
 	f.AddObserver(mo)
+}
+
+// RegisterShardMetrics exposes the barrier-overhead counters — epochs,
+// per-shard dispatched/skipped epochs, executed events, and staged
+// cross-shard arrivals — as gauges on reg. Deliberately NOT part of
+// RegisterMetrics: these series depend on the shard count by
+// construction, and the standard metric set must stay byte-identical
+// across shard counts (TestShardedByteIdentity). Opt in from
+// shard-profiling runs only. No-op when reg is nil.
+func (f *Fabric) RegisterShardMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("netsim/shard/epochs", func() float64 { return float64(f.Epochs()) })
+	for i := range f.shards {
+		s := f.shards[i]
+		id := s.id
+		reg.GaugeFunc(fmt.Sprintf("netsim/shard%d/events", id),
+			func() float64 { return float64(s.eng.Events()) })
+		reg.GaugeFunc(fmt.Sprintf("netsim/shard%d/staged_in", id),
+			func() float64 { return float64(s.staged) })
+		reg.GaugeFunc(fmt.Sprintf("netsim/shard%d/epochs_dispatched", id),
+			func() float64 { return float64(f.grp.Dispatched(id)) })
+		reg.GaugeFunc(fmt.Sprintf("netsim/shard%d/epochs_skipped", id),
+			func() float64 { return float64(f.grp.Skipped(id)) })
+	}
 }
 
 // metricsObserver folds packet-lifecycle events into counters so the

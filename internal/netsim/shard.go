@@ -24,6 +24,7 @@ type shardState struct {
 	eng      *sim.Engine
 	counters *Counters         // aliases Fabric.Counters when single-shard
 	out      [][]stagedArrival // per destination shard; nil when single-shard
+	staged   uint64            // cross-shard arrivals drained INTO this shard
 }
 
 // stagedArrival is one cross-shard event awaiting the barrier: an
@@ -45,13 +46,26 @@ func (s *shardState) stage(dst *shardState, at sim.Time, key uint64, fn func(a, 
 
 // bandKey packs a directed boundary link's identity and its per-link
 // arrival sequence into an arrival-band ordering key: link id in the
-// high 23 bits (below the band bit), sequence in the low 40.
+// high 23 bits (below the band bit), sequence in the low 40. Both fields
+// are range-checked: an overflow would silently bleed into the other
+// field and corrupt cross-shard arrival ordering. New shards gets caught
+// at build time (New checks boundary counts against maxBoundaryLinks),
+// but seq grows with simulated time, so the packing itself must guard.
 const (
 	arrSeqBits       = 40
+	maxArrSeq        = 1 << arrSeqBits
 	maxBoundaryLinks = 1 << 23
 )
 
-func bandKey(linkID, seq uint64) uint64 { return linkID<<arrSeqBits | seq }
+func bandKey(linkID, seq uint64) uint64 {
+	if linkID >= maxBoundaryLinks {
+		panic("netsim: boundary link id overflows bandKey packing")
+	}
+	if seq >= maxArrSeq {
+		panic("netsim: per-link arrival sequence overflows bandKey packing")
+	}
+	return linkID<<arrSeqBits | seq
+}
 
 // Run advances the simulation to until across all shards. With one
 // shard it is exactly Engine.Run; with several it executes
@@ -128,9 +142,10 @@ func (f *Fabric) drainStaging() {
 			if len(q) == 0 {
 				continue
 			}
-			eng := f.shards[di].eng
+			dst := f.shards[di]
+			dst.staged += uint64(len(q))
 			for _, s := range q {
-				eng.ScheduleArrival(s.at, s.key, s.fn, s.a, s.b, s.i)
+				dst.eng.ScheduleArrival(s.at, s.key, s.fn, s.a, s.b, s.i)
 			}
 			for i := range q {
 				q[i] = stagedArrival{} // drop packet references
@@ -169,6 +184,50 @@ func (f *Fabric) mergeCounters() {
 
 // NumShards returns how many shards the fabric runs on.
 func (f *Fabric) NumShards() int { return len(f.shards) }
+
+// ShardStats describes one shard's share of a sharded run — the numbers
+// that quantify barrier overhead: how many epochs the shard actually had
+// work in (versus idle-skipped at the barrier), how many events it
+// executed, and how many cross-shard arrivals were staged into it. All
+// are plain counters maintained unconditionally (their upkeep is noise
+// against an epoch's channel round-trip); they are only formatted when a
+// caller opts in via RegisterShardMetrics or reads them here.
+type ShardStats struct {
+	Shard      int
+	Events     uint64 // events executed on the shard's engine
+	Pending    int    // events still queued (0 after a drained run)
+	Staged     uint64 // cross-shard arrivals drained into this shard
+	Dispatched uint64 // epochs the shard had work inside the window
+	Skipped    uint64 // epochs the shard was idle and only advanced its clock
+}
+
+// ShardStats returns per-shard barrier-overhead counters, indexed by
+// shard id. Epochs() gives the common denominator.
+func (f *Fabric) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(f.shards))
+	for i, s := range f.shards {
+		out[i] = ShardStats{
+			Shard:   i,
+			Events:  s.eng.Events(),
+			Pending: s.eng.Pending(),
+			Staged:  s.staged,
+		}
+		if f.grp != nil {
+			out[i].Dispatched = f.grp.Dispatched(i)
+			out[i].Skipped = f.grp.Skipped(i)
+		}
+	}
+	return out
+}
+
+// Epochs returns the number of barriers executed (0 when single-shard
+// without a group).
+func (f *Fabric) Epochs() uint64 {
+	if f.grp == nil {
+		return 0
+	}
+	return f.grp.Epochs()
+}
 
 // Lookahead returns the conservative synchronization window: the
 // minimum delay over cross-shard links (0 when single-shard).

@@ -1,0 +1,42 @@
+package netsim
+
+import "testing"
+
+// TestBandKeyPacking pins the bit split and the range guards: link id
+// and sequence must round-trip through the packed key at their limits,
+// and one past either limit must panic rather than silently bleed into
+// the neighboring field (which would corrupt cross-shard arrival order).
+func TestBandKeyPacking(t *testing.T) {
+	cases := []struct{ link, seq uint64 }{
+		{0, 0},
+		{0, maxArrSeq - 1},
+		{maxBoundaryLinks - 1, 0},
+		{maxBoundaryLinks - 1, maxArrSeq - 1},
+	}
+	for _, c := range cases {
+		k := bandKey(c.link, c.seq)
+		if k>>arrSeqBits != c.link || k&(maxArrSeq-1) != c.seq {
+			t.Fatalf("bandKey(%d, %d) = %#x does not round-trip", c.link, c.seq, k)
+		}
+		if k>>63 != 0 {
+			t.Fatalf("bandKey(%d, %d) = %#x collides with the arrival band bit", c.link, c.seq, k)
+		}
+	}
+	// Ordering: higher link id sorts after every sequence of a lower one.
+	if !(bandKey(1, 0) > bandKey(0, maxArrSeq-1)) {
+		t.Fatal("link id must dominate sequence in the packed order")
+	}
+
+	mustPanic(t, "link overflow", func() { bandKey(maxBoundaryLinks, 0) })
+	mustPanic(t, "seq overflow", func() { bandKey(0, maxArrSeq) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

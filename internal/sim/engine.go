@@ -23,14 +23,72 @@ import "math/rand"
 // order — the property that makes sharded runs byte-identical to serial.
 type Engine struct {
 	now    Time
-	q      []*event // 4-ary min-heap by (at, seq), band-0 events only
+	q      []*event // 4-ary min-heap by (at, seq), band-0 events only (heap discipline)
+	lad    *ladder  // band-0 events, ladder discipline (nil selects the heap)
 	qa     []*event // arrival-band events (ScheduleArrival), same order
 	seq    uint64
 	seed   int64
 	rng    *rand.Rand
 	nEvent uint64 // total events executed, for instrumentation
 	free   *event // recycled events, linked through event.next
+	freeN  int    // free-list length, bounded by maxFreeEvents
 }
+
+// QueueDiscipline selects the data structure holding band-0 events.
+// Both disciplines implement the identical (time, seq) total order —
+// execution order, and therefore every digest, is the same under either;
+// only the constant factors differ with event density (DESIGN.md §13).
+type QueueDiscipline uint8
+
+const (
+	// QueueAuto picks a discipline from the expected event density hint.
+	QueueAuto QueueDiscipline = iota
+	// QueueHeap is the inlined 4-ary min-heap: fastest at the event
+	// densities of small fabrics, where near-sorted pushes terminate
+	// their sift almost immediately.
+	QueueHeap
+	// QueueLadder is the calendar/ladder queue (ladder.go): O(1) bucket
+	// appends that win once the pending population is large.
+	QueueLadder
+)
+
+func (q QueueDiscipline) String() string {
+	switch q {
+	case QueueHeap:
+		return "heap"
+	case QueueLadder:
+		return "ladder"
+	default:
+		return "auto"
+	}
+}
+
+// LadderDensityMin is the expected-pending-events hint at which QueueAuto
+// selects the ladder queue. Set from the head-to-head hold-model
+// benchmarks in internal/experiments (BenchmarkEngineHold…): the heap
+// wins clearly below ~4k pending events, the ladder at and above ~16k;
+// the crossover sits between. See DESIGN.md §13.
+const LadderDensityMin = 8192
+
+// PickQueue resolves QueueAuto against an expected event-density hint
+// (roughly the number of concurrently pending events the simulation will
+// hold). Explicit disciplines pass through unchanged.
+func PickQueue(q QueueDiscipline, expectedPending int) QueueDiscipline {
+	if q != QueueAuto {
+		return q
+	}
+	if expectedPending >= LadderDensityMin {
+		return QueueLadder
+	}
+	return QueueHeap
+}
+
+// maxFreeEvents bounds the event free list. A transient event burst
+// (fan-in spikes at high load hold 10^6+ concurrent events) would
+// otherwise pin its peak allocation for the rest of a long campaign;
+// recycles past the bound are dropped for the GC instead. A variable so
+// tests can shrink it.
+var maxFreeEvents = 1 << 15
 
 // event is one scheduled callback. Events are owned by the engine: when
 // one fires or is cancelled it returns to the free list and its gen is
@@ -49,6 +107,12 @@ type event struct {
 	a, b   any
 	i      int
 	fn     func()
+
+	// bkt locates the event under the ladder discipline: nil while in a
+	// heap (idx is the heap slot), else the unsorted bucket or overflow
+	// slice holding it (idx is the slice slot). Always nil under the
+	// heap discipline.
+	bkt *[]*event
 
 	next *event // free-list link
 }
@@ -84,10 +148,31 @@ func (t Timer) Cancel() {
 	}
 }
 
-// NewEngine returns an engine with the clock at zero and a random source
-// seeded with seed.
+// NewEngine returns an engine with the clock at zero, a random source
+// seeded with seed, and the heap queue discipline.
 func NewEngine(seed int64) *Engine {
-	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	return NewEngineQueue(seed, QueueHeap)
+}
+
+// NewEngineQueue returns an engine using the given queue discipline for
+// its band-0 events (QueueAuto here means QueueHeap; resolve density
+// hints with PickQueue first). The discipline is fixed for the engine's
+// lifetime. Execution order — and so every simulation result — is
+// identical under either discipline.
+func NewEngineQueue(seed int64, q QueueDiscipline) *Engine {
+	e := &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	if q == QueueLadder {
+		e.lad = new(ladder)
+	}
+	return e
+}
+
+// Queue reports the engine's band-0 queue discipline.
+func (e *Engine) Queue() QueueDiscipline {
+	if e.lad != nil {
+		return QueueLadder
+	}
+	return QueueHeap
 }
 
 // Now returns the current simulated time.
@@ -118,20 +203,30 @@ func (e *Engine) Events() uint64 { return e.nEvent }
 
 // Pending returns the number of live events currently queued. Cancelled
 // events are removed from the queue immediately and never counted.
-func (e *Engine) Pending() int { return len(e.q) + len(e.qa) }
+func (e *Engine) Pending() int {
+	n := len(e.q) + len(e.qa)
+	if e.lad != nil {
+		n += e.lad.n
+	}
+	return n
+}
 
 // alloc takes an event from the free list, or makes one.
 func (e *Engine) alloc() *event {
 	t := e.free
 	if t != nil {
 		e.free = t.next
+		e.freeN--
 		t.next = nil
 		return t
 	}
 	return &event{eng: e}
 }
 
-// recycle invalidates outstanding handles and returns t to the free list.
+// recycle invalidates outstanding handles and returns t to the free
+// list — unless the list is already at its bound, in which case the
+// event is dropped for the GC so a transient burst's peak does not stay
+// resident forever.
 func (e *Engine) recycle(t *event) {
 	t.gen++
 	t.fn = nil
@@ -139,12 +234,17 @@ func (e *Engine) recycle(t *event) {
 	t.a, t.b = nil, nil
 	t.i = 0
 	t.idx = -1
+	t.bkt = nil
+	if e.freeN >= maxFreeEvents {
+		return
+	}
 	t.next = e.free
 	e.free = t
+	e.freeN++
 }
 
 // push allocates an event at absolute time at and inserts it into the
-// main heap. Scheduling in the past panics: it would silently corrupt
+// band-0 queue. Scheduling in the past panics: it would silently corrupt
 // causality.
 func (e *Engine) push(at Time) *event {
 	if at < e.now {
@@ -154,10 +254,36 @@ func (e *Engine) push(at Time) *event {
 	t.at = at
 	t.seq = e.seq
 	e.seq++
+	if e.lad != nil {
+		e.lad.push(t)
+		return t
+	}
 	t.idx = int32(len(e.q))
 	e.q = append(e.q, t)
 	siftUp(e.q, int(t.idx))
 	return t
+}
+
+// mainMin returns the earliest band-0 event without removing it, or nil.
+// Under the ladder discipline this may advance the drain front (a pure
+// restructuring — pop order is unaffected).
+func (e *Engine) mainMin() *event {
+	if e.lad != nil {
+		return e.lad.min()
+	}
+	if len(e.q) == 0 {
+		return nil
+	}
+	return e.q[0]
+}
+
+// mainPop removes and returns the earliest band-0 event; the caller
+// guarantees one exists.
+func (e *Engine) mainPop() *event {
+	if e.lad != nil {
+		return e.lad.pop()
+	}
+	return popRoot(&e.q)
 }
 
 // arrivalBand is the top bit of the seq ordering key. Engine-local
@@ -243,16 +369,15 @@ func (e *Engine) ScheduleFunc(at Time, fn func(a, b any, i int), a, b any, i int
 // is already inert by the time it executes.
 func (e *Engine) Step() bool {
 	var t *event
-	switch {
-	case len(e.qa) == 0:
-		if len(e.q) == 0 {
+	if len(e.qa) == 0 {
+		if t = e.mainMin(); t == nil {
 			return false
 		}
-		t = popRoot(&e.q)
-	case len(e.q) == 0 || eventLess(e.qa[0], e.q[0]):
+		t = e.mainPop()
+	} else if m := e.mainMin(); m == nil || eventLess(e.qa[0], m) {
 		t = popRoot(&e.qa)
-	default:
-		t = popRoot(&e.q)
+	} else {
+		t = e.mainPop()
 	}
 	e.now = t.at
 	e.nEvent++
@@ -264,6 +389,17 @@ func (e *Engine) Step() bool {
 		fn()
 	}
 	return true
+}
+
+// SkipTo advances the clock to at without executing anything. Callers
+// must have checked that no pending event is stamped at or before at
+// (Group's idle-skip dispatch does, via NextAt); otherwise events would
+// run late. Equivalent to Run(at) on an idle engine, minus the queue
+// peeks.
+func (e *Engine) SkipTo(at Time) {
+	if at > e.now {
+		e.now = at
+	}
 }
 
 // Run executes events until the queue is empty or the clock would pass
@@ -283,19 +419,17 @@ func (e *Engine) Run(until Time) {
 }
 
 // peek returns the next event to run without removing it, or nil when
-// both heaps are empty. Arrival events carry the band bit in seq, so
-// eventLess breaks every same-instant tie toward the main heap.
+// both bands are empty. Arrival events carry the band bit in seq, so
+// eventLess breaks every same-instant tie toward the main band.
 func (e *Engine) peek() *event {
+	m := e.mainMin()
 	if len(e.qa) == 0 {
-		if len(e.q) == 0 {
-			return nil
-		}
-		return e.q[0]
+		return m
 	}
-	if len(e.q) == 0 || eventLess(e.qa[0], e.q[0]) {
+	if m == nil || eventLess(e.qa[0], m) {
 		return e.qa[0]
 	}
-	return e.q[0]
+	return m
 }
 
 // RunAll executes events until the queue drains. Intended for workloads
@@ -331,23 +465,34 @@ func popRoot(qp *[]*event) *event {
 }
 
 // remove deletes an arbitrary queued event (cancellation) and recycles
-// it. Only main-heap events can be cancelled: ScheduleArrival returns no
+// it. Only band-0 events can be cancelled: ScheduleArrival returns no
 // Timer, so arrival events never come through here.
 func (e *Engine) remove(t *event) {
-	i := int(t.idx)
-	n := len(e.q) - 1
-	last := e.q[n]
-	e.q[n] = nil
-	e.q = e.q[:n]
-	if i != n {
-		e.q[i] = last
-		last.idx = int32(i)
-		siftUp(e.q, i)
-		if int(last.idx) == i {
-			siftDown(e.q, i)
-		}
+	if e.lad != nil {
+		e.lad.remove(t)
+	} else {
+		heapRemove(&e.q, t)
 	}
 	e.recycle(t)
+}
+
+// heapRemove deletes an arbitrary event from a (time, seq) heap.
+func heapRemove(qp *[]*event, t *event) {
+	q := *qp
+	i := int(t.idx)
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	*qp = q[:n]
+	if i != n {
+		q = q[:n]
+		q[i] = last
+		last.idx = int32(i)
+		siftUp(q, i)
+		if int(last.idx) == i {
+			siftDown(q, i)
+		}
+	}
 }
 
 // siftUp restores the heap above index i (4-ary: parent of i is (i-1)/4).

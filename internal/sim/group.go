@@ -23,6 +23,14 @@ type Group struct {
 	//lint:ignore simgoroutine Group IS the sanctioned concurrency primitive; this joins its own epoch workers
 	wg     sync.WaitGroup
 	closed bool
+
+	// Barrier-overhead counters, maintained unconditionally (two slice
+	// increments per shard per epoch — noise against an epoch's channel
+	// round-trip) and surfaced only through opt-in telemetry
+	// (netsim.RegisterShardMetrics), so default runs format nothing.
+	epochs     uint64   // barriers executed
+	dispatched []uint64 // per shard: epochs it had work inside the window
+	skipped    []uint64 // per shard: epochs it was idle and only advanced its clock
 }
 
 // NewGroup builds a group over engines. The slice must be non-empty;
@@ -32,7 +40,11 @@ func NewGroup(engines []*Engine) *Group {
 	if len(engines) == 0 {
 		panic("sim: empty engine group")
 	}
-	g := &Group{engines: engines}
+	g := &Group{
+		engines:    engines,
+		dispatched: make([]uint64, len(engines)),
+		skipped:    make([]uint64, len(engines)),
+	}
 	if len(engines) > 1 {
 		g.work = make([]chan Time, len(engines)-1)
 		for i := range g.work {
@@ -59,17 +71,37 @@ func (g *Group) Engine(i int) *Engine { return g.engines[i] }
 
 // RunEpoch advances every shard to until and blocks until all have
 // arrived at the barrier. With one shard it is exactly Engine.Run.
+//
+// Shards with no event inside the window are not dispatched: the
+// coordinator advances their clock inline (SkipTo) instead of paying a
+// channel round-trip for a no-op epoch. Safe because workers are idle
+// between epochs — the coordinator already owns every engine here (it
+// reads NextAt to size the window and drains staging queues into them).
 func (g *Group) RunEpoch(until Time) {
+	g.epochs++
 	if len(g.engines) == 1 {
 		g.engines[0].Run(until)
+		g.dispatched[0]++
 		return
 	}
-	g.wg.Add(len(g.work))
-	for _, ch := range g.work {
+	busy := 0
+	for i, ch := range g.work {
+		eng := g.engines[i+1]
+		if at, ok := eng.NextAt(); !ok || at > until {
+			eng.SkipTo(until)
+			g.skipped[i+1]++
+			continue
+		}
+		g.dispatched[i+1]++
+		busy++
+		g.wg.Add(1)
 		ch <- until
 	}
 	g.engines[0].Run(until)
-	g.wg.Wait()
+	g.dispatched[0]++
+	if busy > 0 {
+		g.wg.Wait()
+	}
 }
 
 // Close shuts down the worker goroutines. The group must be idle (no
@@ -105,6 +137,17 @@ func (g *Group) Pending() int {
 	}
 	return n
 }
+
+// Epochs returns the number of barriers executed so far.
+func (g *Group) Epochs() uint64 { return g.epochs }
+
+// Dispatched returns how many epochs shard i ran with work inside the
+// window; Skipped how many it skipped as idle. Together they sum to
+// Epochs (shard 0 always runs, so its skip count stays zero).
+func (g *Group) Dispatched(i int) uint64 { return g.dispatched[i] }
+
+// Skipped returns how many epochs shard i was idle-skipped.
+func (g *Group) Skipped(i int) uint64 { return g.skipped[i] }
 
 // NextAt returns the earliest pending event time across shards, or
 // false when every shard's queue is empty. Only meaningful between

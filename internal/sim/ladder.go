@@ -1,0 +1,261 @@
+package sim
+
+// ladder is the calendar-queue ("ladder queue") discipline for the
+// engine's band-0 events: an alternative to the inlined 4-ary heap that
+// trades the heap's O(log n) sift cost for O(1) bucket appends, which
+// wins once the pending-event population is large (1024-host and bigger
+// fabrics hold 10^4–10^6 concurrent timers; see DESIGN.md §13 for the
+// measured crossover).
+//
+// Structure, front to back in time:
+//
+//   - active: a small 4-ary min-heap — the drain front. Holds every
+//     event with at < activeEnd. Pops come only from here, so the pop
+//     order is exactly eventLess (time, then seq), the same total order
+//     the heap discipline uses: the two disciplines are execution-order
+//     identical by construction (TestQueueDisciplineEquivalence drives
+//     randomized schedules through both and asserts it).
+//   - segs: ordered segments, each an equal-width array of UNSORTED
+//     buckets covering a contiguous span of future time. Events are
+//     appended to their bucket in O(1). When the active heap drains, the
+//     next non-empty bucket is heapified wholesale into it. A bucket
+//     holding too many events for one heapify spawns a finer segment in
+//     front (the "ladder rung"), re-bucketing its contents — that keeps
+//     per-transfer work bounded without ever sorting more than one
+//     bucket at a time.
+//   - over: an unsorted far-future tier past the last segment's horizon.
+//     When everything nearer is exhausted it is carved into a fresh
+//     segment whose bucket width adapts to the observed spread
+//     (span/ladBuckets) — the self-sizing that makes the calendar robust
+//     to event densities it was not tuned for.
+//
+// Event location is tracked through event.bkt: nil while in the active
+// heap (event.idx is the heap slot), otherwise a pointer to the unsorted
+// bucket or overflow slice holding it (event.idx is the slice slot), so
+// cancellation is O(1) swap-delete everywhere except the small drain
+// front.
+//
+// Scheduling in the past is impossible (Engine.push checks), so every
+// insert lands at or after the drain front and no bucket behind cur can
+// ever be targeted.
+const (
+	ladBuckets  = 256 // buckets per segment
+	ladSpawnMin = 512 // bucket size that spawns a finer segment instead of heapifying
+	ladOverMax  = 256 // overflow size above which draining re-buckets instead of heapifying
+)
+
+type ladSeg struct {
+	start Time     // left edge of bucket 0
+	width Duration // bucket width, ≥ 1 ps
+	cur   int      // next bucket to drain
+	// limit is the segment's exclusive span end. It can be tighter than
+	// start + width*ladBuckets (width rounds up), and drain boundaries
+	// clamp to it: a spawned segment must never claim time past its
+	// parent bucket's right edge, or its last bucket would interleave
+	// out of order with the parent's next one.
+	limit   Time
+	buckets [ladBuckets][]*event
+}
+
+type ladder struct {
+	active    []*event // min-heap by eventLess; the drain front
+	activeEnd Time     // exclusive: every event at ≥ activeEnd lives in segs/over
+	segs      []*ladSeg
+	over      []*event // unsorted, at ≥ every segment's span
+	overMin   Time     // valid while len(over) > 0 (loose lower bound after removals)
+	overMax   Time     // loose upper bound after removals
+	n         int      // total events across all tiers
+}
+
+// push files t into the tier its timestamp selects. O(1) except for
+// active-heap inserts, which are O(log |active|) on a deliberately small
+// heap.
+func (l *ladder) push(t *event) {
+	l.n++
+	at := t.at
+	if at < l.activeEnd {
+		t.bkt = nil
+		t.idx = int32(len(l.active))
+		l.active = append(l.active, t)
+		siftUp(l.active, int(t.idx))
+		return
+	}
+	for _, s := range l.segs {
+		if at >= s.limit {
+			continue
+		}
+		b := 0
+		if at > s.start {
+			b = int(int64(at-s.start) / int64(s.width))
+		}
+		// Events in the gap before a segment, or at the drained frontier,
+		// clamp into the current bucket: they still sort after everything
+		// in active (at ≥ activeEnd) and before every later bucket.
+		if b < s.cur {
+			b = s.cur
+		}
+		bp := &s.buckets[b]
+		t.bkt = bp
+		t.idx = int32(len(*bp))
+		*bp = append(*bp, t)
+		return
+	}
+	if len(l.over) == 0 || at < l.overMin {
+		l.overMin = at
+	}
+	if len(l.over) == 0 || at > l.overMax {
+		l.overMax = at
+	}
+	t.bkt = &l.over
+	t.idx = int32(len(l.over))
+	l.over = append(l.over, t)
+}
+
+// min returns the earliest pending event without removing it, advancing
+// the drain front over empty buckets as needed. Returns nil when empty.
+func (l *ladder) min() *event {
+	for len(l.active) == 0 {
+		if !l.advance() {
+			return nil
+		}
+	}
+	return l.active[0]
+}
+
+// pop removes and returns the earliest pending event, or nil.
+func (l *ladder) pop() *event {
+	if l.min() == nil {
+		return nil
+	}
+	l.n--
+	return popRoot(&l.active)
+}
+
+// advance refills the empty active heap from the next non-empty bucket
+// (or the overflow tier), spawning finer segments for over-dense buckets
+// on the way. Reports false when the whole ladder is empty.
+func (l *ladder) advance() bool {
+	for len(l.segs) > 0 {
+		s := l.segs[0]
+		for s.cur < ladBuckets && len(s.buckets[s.cur]) == 0 {
+			s.cur++
+		}
+		if s.cur == ladBuckets {
+			l.segs = l.segs[1:] // exhausted
+			continue
+		}
+		b := s.buckets[s.cur]
+		bucketEnd := s.start.Add(Duration(int64(s.width) * int64(s.cur+1)))
+		if bucketEnd > s.limit {
+			bucketEnd = s.limit
+		}
+		s.buckets[s.cur] = nil
+		s.cur++
+		if len(b) > ladSpawnMin && s.width > 1 {
+			l.spawn(b, bucketEnd)
+			continue
+		}
+		l.fill(b, bucketEnd)
+		return true
+	}
+	switch {
+	case len(l.over) == 0:
+		return false
+	case len(l.over) <= ladOverMax:
+		b := l.over
+		l.over = nil
+		l.fill(b, l.overMax+1)
+		return true
+	default:
+		l.rebucket()
+		return l.advance()
+	}
+}
+
+// fill moves one drained bucket into the active heap (4-ary heapify,
+// O(len)) and advances the drain boundary to the bucket's right edge.
+func (l *ladder) fill(b []*event, end Time) {
+	l.active = append(l.active[:0], b...)
+	for i, ev := range l.active {
+		ev.bkt = nil
+		ev.idx = int32(i)
+	}
+	for i := (len(l.active) - 2) >> 2; i >= 0; i-- {
+		siftDown(l.active, i)
+	}
+	l.activeEnd = end
+}
+
+// spawn re-buckets one over-dense bucket into a finer segment prepended
+// to the ladder — the rung-spawning step that bounds per-drain work. The
+// new segment starts at the bucket's earliest event (not its nominal left
+// edge: gap-clamped strays can sit before it, and not the drain boundary:
+// a cluster far past it would keep the span — and so the child's bucket
+// width — from ever tightening, spawning forever). Anchoring at the true
+// minimum shrinks the span to at most the parent's bucket width, so
+// resolution improves ~ladBuckets-fold per rung and the recursion
+// terminates.
+func (l *ladder) spawn(b []*event, end Time) {
+	start := b[0].at
+	for _, ev := range b[1:] {
+		if ev.at < start {
+			start = ev.at
+		}
+	}
+	span := int64(end - start)
+	width := (span + ladBuckets - 1) / ladBuckets
+	if width < 1 {
+		width = 1
+	}
+	s := &ladSeg{start: start, width: Duration(width), limit: end}
+	for _, ev := range b {
+		i := int(int64(ev.at-start) / width)
+		bp := &s.buckets[i]
+		ev.bkt = bp
+		ev.idx = int32(len(*bp))
+		*bp = append(*bp, ev)
+	}
+	l.segs = append([]*ladSeg{s}, l.segs...)
+}
+
+// rebucket carves the overflow tier into a fresh segment sized to its
+// observed span, resetting the overflow.
+func (l *ladder) rebucket() {
+	b := l.over
+	l.over = nil
+	start := l.overMin
+	span := int64(l.overMax-l.overMin) + 1
+	width := (span + ladBuckets - 1) / ladBuckets
+	if width < 1 {
+		width = 1
+	}
+	s := &ladSeg{start: start, width: Duration(width), limit: l.overMax + 1}
+	for _, ev := range b {
+		i := int(int64(ev.at-start) / width)
+		bp := &s.buckets[i]
+		ev.bkt = bp
+		ev.idx = int32(len(*bp))
+		*bp = append(*bp, ev)
+	}
+	l.segs = append(l.segs, s)
+}
+
+// remove deletes a queued event (cancellation): heap-remove from the
+// drain front, O(1) swap-delete from a bucket or the overflow.
+func (l *ladder) remove(t *event) {
+	l.n--
+	if t.bkt == nil {
+		heapRemove(&l.active, t)
+		return
+	}
+	q := *t.bkt
+	i := int(t.idx)
+	nn := len(q) - 1
+	last := q[nn]
+	q[nn] = nil
+	if i != nn {
+		q[i] = last
+		last.idx = int32(i)
+	}
+	*t.bkt = q[:nn]
+}

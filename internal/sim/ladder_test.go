@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// queueRecorder drives one engine through a scripted schedule and records
+// the execution order as "at/tag" strings.
+type queueRecorder struct {
+	eng   *Engine
+	order []string
+}
+
+func (r *queueRecorder) log(tag int) {
+	r.order = append(r.order, fmt.Sprintf("%d/%d", r.eng.Now(), tag))
+}
+
+// op is one step of a randomized schedule: either a new event (band 0 via
+// Schedule/AfterFunc, band 1 via ScheduleArrival) or the cancellation of
+// an earlier band-0 event.
+type queueOp struct {
+	cancel  bool
+	victim  int // index into the timer list when cancel
+	arrival bool
+	delay   Duration
+	key     uint64
+	tag     int
+}
+
+// runSchedule replays ops on an engine with the given discipline,
+// interleaving execution (Step bursts) with scheduling so the drain front
+// moves while inserts keep landing across all ladder tiers.
+func runSchedule(disc QueueDiscipline, ops []queueOp, steps []int) []string {
+	r := &queueRecorder{eng: NewEngineQueue(7, disc)}
+	var timers []Timer
+	si := 0
+	for i, o := range ops {
+		switch {
+		case o.cancel:
+			if len(timers) > 0 {
+				timers[o.victim%len(timers)].Cancel()
+			}
+		case o.arrival:
+			r.eng.ScheduleArrival(r.eng.Now().Add(o.delay), o.key,
+				func(a, b any, i int) { a.(*queueRecorder).log(i) }, r, nil, o.tag)
+		default:
+			tag := o.tag
+			timers = append(timers, r.eng.After(o.delay, func() { r.log(tag) }))
+		}
+		if si < len(steps) && steps[si] == i {
+			si++
+			for k := 0; k < 3; k++ {
+				r.eng.Step()
+			}
+		}
+	}
+	r.eng.RunAll()
+	return r.order
+}
+
+// TestQueueDisciplineEquivalence is the property test behind the ladder
+// queue's correctness claim: identical randomized schedules — including
+// cancellations, same-instant ties in both bands, near events, far-future
+// overflow events, and dense same-bucket bursts — executed through the
+// 4-ary heap and the ladder queue produce the identical execution order.
+func TestQueueDisciplineEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 200 + rng.Intn(800)
+		ops := make([]queueOp, n)
+		arrKeys := map[uint64]bool{}
+		for i := range ops {
+			o := &ops[i]
+			o.tag = i
+			switch rng.Intn(10) {
+			case 0: // cancellation of a random earlier band-0 timer
+				o.cancel = true
+				o.victim = rng.Intn(1 << 20)
+			case 1, 2: // band-1 arrival with a unique identity key
+				o.arrival = true
+				for {
+					o.key = uint64(rng.Intn(1 << 30))
+					if !arrKeys[o.key] {
+						arrKeys[o.key] = true
+						break
+					}
+				}
+				o.delay = Duration(rng.Intn(2000))
+			default:
+				// Delay mix spanning every ladder tier: 0 forces same-instant
+				// FIFO ties, small lands in active/near buckets, huge lands in
+				// the overflow, and the modulo clustering packs bucket bursts.
+				switch rng.Intn(4) {
+				case 0:
+					o.delay = 0
+				case 1:
+					o.delay = Duration(rng.Intn(64))
+				case 2:
+					o.delay = Duration(rng.Intn(100_000))
+				default:
+					o.delay = Duration(1_000_000 + rng.Intn(10_000_000))
+				}
+			}
+		}
+		// Step bursts at random points so scheduling interleaves with
+		// execution (events land behind, at, and ahead of the drain front).
+		var steps []int
+		for i := 0; i < n; i += 1 + rng.Intn(20) {
+			steps = append(steps, i)
+		}
+
+		want := runSchedule(QueueHeap, ops, steps)
+		got := runSchedule(QueueLadder, ops, steps)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: heap ran %d events, ladder %d", trial, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: execution order diverges at event %d: heap %s, ladder %s",
+					trial, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestLadderFarFutureOverflow exercises the overflow tier's two drain
+// paths: a small overflow dumps straight into the active heap, a large
+// one re-buckets into a fresh segment.
+func TestLadderFarFutureOverflow(t *testing.T) {
+	for _, count := range []int{ladOverMax / 2, ladOverMax * 8} {
+		e := NewEngineQueue(1, QueueLadder)
+		rng := rand.New(rand.NewSource(int64(count)))
+		var want []Time
+		for i := 0; i < count; i++ {
+			at := Time(1_000_000 + rng.Intn(50_000_000))
+			want = append(want, at)
+			e.Schedule(at, func() {})
+		}
+		var got []Time
+		for e.Step() {
+			got = append(got, e.Now())
+		}
+		if len(got) != count {
+			t.Fatalf("count %d: ran %d events", count, len(got))
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				t.Fatalf("count %d: out of order at %d: %d after %d", count, i, got[i], got[i-1])
+			}
+		}
+	}
+}
+
+// TestLadderSpawn drives a burst dense enough to trigger rung spawning
+// (one bucket holding > ladSpawnMin events) and checks order plus FIFO
+// tie-breaks survive the re-bucketing.
+func TestLadderSpawn(t *testing.T) {
+	e := NewEngineQueue(1, QueueLadder)
+	rng := rand.New(rand.NewSource(3))
+	n := ladSpawnMin * 4
+	type stamp struct {
+		at  Time
+		tag int
+	}
+	var got []stamp
+	// A far spacer first so the dense burst lands in one coarse bucket of
+	// the re-bucketed overflow segment.
+	e.Schedule(100_000_000, func() {})
+	for i := 0; i < n; i++ {
+		tag := i
+		at := Time(1_000_000 + rng.Intn(1000))
+		e.Schedule(at, func() { got = append(got, stamp{e.Now(), tag}) })
+	}
+	e.RunAll()
+	if len(got) != n {
+		t.Fatalf("ran %d of %d events", len(got), n)
+	}
+	byAt := map[Time]int{}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	for _, s := range got {
+		if prev, ok := byAt[s.at]; ok && s.tag < prev {
+			t.Fatalf("FIFO tie-break violated at t=%d: tag %d after %d", s.at, s.tag, prev)
+		}
+		byAt[s.at] = s.tag
+	}
+}
+
+// TestLadderCancel checks O(1) bucket cancellation across tiers: cancel
+// events sitting in the active heap, in segment buckets, and in the
+// overflow, then verify the survivors run in order.
+func TestLadderCancel(t *testing.T) {
+	e := NewEngineQueue(1, QueueLadder)
+	rng := rand.New(rand.NewSource(9))
+	var timers []Timer
+	var want []Time
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Intn(20_000_000))
+		tm := e.Schedule(at, func() {})
+		if i%3 == 0 {
+			timers = append(timers, tm)
+		} else {
+			want = append(want, at)
+		}
+	}
+	// Force the drain front forward so cancellations hit the active heap
+	// too, then cancel every held timer that has not fired yet.
+	for i := 0; i < 100; i++ {
+		e.Step()
+	}
+	canceled := 0
+	for _, tm := range timers {
+		if tm.Active() {
+			tm.Cancel()
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no cancellations exercised")
+	}
+	rest := 0
+	last := Time(-1)
+	for e.Step() {
+		if e.Now() < last {
+			t.Fatalf("out of order after cancellations: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+		rest++
+	}
+	if total := 100 + rest + canceled; total != 5000 {
+		t.Fatalf("events ran+cancelled = %d, want 5000", total)
+	}
+}
+
+// TestEngineFreeListCap verifies the free-list bound: after a burst far
+// above maxFreeEvents drains, the engine retains at most maxFreeEvents
+// recycled events and drops the rest for the GC.
+func TestEngineFreeListCap(t *testing.T) {
+	old := maxFreeEvents
+	maxFreeEvents = 64
+	defer func() { maxFreeEvents = old }()
+
+	e := NewEngine(1)
+	for i := 0; i < 1000; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.RunAll()
+	if e.freeN > 64 {
+		t.Fatalf("free list holds %d events, cap is 64", e.freeN)
+	}
+	n := 0
+	for ev := e.free; ev != nil; ev = ev.next {
+		n++
+	}
+	if n != e.freeN {
+		t.Fatalf("free list length %d, counter says %d", n, e.freeN)
+	}
+}
+
+// TestPickQueue pins the auto-selection contract.
+func TestPickQueue(t *testing.T) {
+	if got := PickQueue(QueueHeap, 1<<20); got != QueueHeap {
+		t.Fatalf("explicit heap overridden to %v", got)
+	}
+	if got := PickQueue(QueueLadder, 1); got != QueueLadder {
+		t.Fatalf("explicit ladder overridden to %v", got)
+	}
+	if got := PickQueue(QueueAuto, LadderDensityMin-1); got != QueueHeap {
+		t.Fatalf("auto below threshold picked %v", got)
+	}
+	if got := PickQueue(QueueAuto, LadderDensityMin); got != QueueLadder {
+		t.Fatalf("auto at threshold picked %v", got)
+	}
+}

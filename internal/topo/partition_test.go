@@ -25,6 +25,64 @@ func TestPartitionUnits(t *testing.T) {
 	}
 }
 
+// TestMakePartitionBalance1024 checks the weighted-LPT placement on the
+// paper's 1024-host FatTree (16 pods + 64 cores = 80 units) at the shard
+// counts the scale campaign sweeps. Pods are indivisible, so perfect
+// balance means every host-bearing shard holds exactly pods' worth of
+// hosts: at 16 shards one pod (64 hosts) plus 4 cores each; at 64
+// shards no shard may hold more than one pod and every shard must own
+// at least one unit.
+func TestMakePartitionBalance1024(t *testing.T) {
+	tp := DefaultFatTree().Build()
+	if got := MaxShards(tp); got != 80 {
+		t.Fatalf("fattree-1024 has %d units, want 80", got)
+	}
+	for _, n := range []int{8, 16, 64, 80} {
+		p, err := MakePartition(tp, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		hosts := make([]int, n)
+		units := make([]int, n)
+		seen := map[int32]bool{}
+		for h := 0; h < tp.NumHosts; h++ {
+			hosts[p.ShardOfHost(h)]++
+		}
+		for _, sw := range tp.Switches {
+			if !seen[p.SwitchShard[sw.ID]] {
+				seen[p.SwitchShard[sw.ID]] = true
+			}
+		}
+		for k := 0; k < n; k++ {
+			if !seen[int32(k)] {
+				t.Errorf("n=%d: shard %d owns no switches", n, k)
+			}
+			_ = units
+		}
+		podHosts := 1024 / 16
+		wantMax := podHosts * ((16 + n - 1) / n) // ceil(pods/shards) pods each
+		for k, hc := range hosts {
+			if hc > wantMax {
+				t.Errorf("n=%d: shard %d holds %d hosts, LPT bound is %d", n, k, hc, wantMax)
+			}
+		}
+		if n >= 16 {
+			// Every pod on its own shard: exactly 16 shards with 64 hosts.
+			withHosts := 0
+			for _, hc := range hosts {
+				if hc == podHosts {
+					withHosts++
+				} else if hc != 0 {
+					t.Errorf("n=%d: shard holds %d hosts, want 0 or %d", n, hc, podHosts)
+				}
+			}
+			if withHosts != 16 {
+				t.Errorf("n=%d: %d host-bearing shards, want 16", n, withHosts)
+			}
+		}
+	}
+}
+
 func TestMakePartitionErrors(t *testing.T) {
 	tp := SmallLeafSpine().Build()
 	if _, err := MakePartition(tp, 0); err == nil {
