@@ -15,6 +15,9 @@
 //	experiments -benchjson bench/         # machine-readable substrate benchmarks
 //	experiments -run fig3a -metrics out/  # per-run CSV series + JSON reports
 //	experiments -run fig3b -cpuprofile cpu.pprof
+//	experiments -run ckpt -checkpoint 100us -checkpoint-dir ck/   # periodic snapshots
+//	experiments -resume ck/ckpt-fattree-128-seed1.ck0002.dcpimck  # verified replay + continue
+//	experiments -bisect ckA,ckB           # first diverging event between two snapshot dirs
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"dcpim/internal/experiments"
@@ -44,6 +48,10 @@ func main() {
 		benchjson  = flag.String("benchjson", "", "run the substrate benchmark suite and write BENCH_<name>.json files into this directory, then exit")
 		benchcheck = flag.String("benchcheck", "", "re-run the substrate benchmarks against the baseline BENCH_*.json files in this directory and exit nonzero on a >10% ns/op regression")
 		queue      = flag.String("queue", "auto", "engine event-queue discipline: auto, heap, or ladder; output is identical under any setting")
+		ckptEvery  = flag.Duration("checkpoint", 0, "snapshot instrumented runs every this much simulated time (e.g. 100us); pair with -checkpoint-dir to keep the files")
+		ckptDir    = flag.String("checkpoint-dir", "", "write snapshot files (*.dcpimck) into this directory")
+		resume     = flag.String("resume", "", "resume (verified replay) a ckpt-experiment snapshot file to its horizon, then exit")
+		bisect     = flag.String("bisect", "", "compare two snapshot directories 'dirA,dirB' and localize the first diverging event, then exit")
 	)
 	flag.Parse()
 
@@ -75,7 +83,7 @@ func main() {
 		return
 	}
 
-	if *list || *run == "" {
+	if *list || (*run == "" && *resume == "" && *bisect == "") {
 		fmt.Println("experiments:")
 		for _, e := range experiments.All() {
 			fmt.Printf("  %-9s %s\n", e.ID, e.Title)
@@ -106,10 +114,39 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	opts := experiments.Options{
 		Seed: *seed, Scale: *scale, Hosts: *hosts, Workers: *parallel,
 		Shards: *shards, MetricsDir: *metricsDir, Queue: qd,
+		// Simulated time is picoseconds; time.Duration is nanoseconds.
+		CheckpointEvery: sim.Duration(ckptEvery.Nanoseconds()) * 1000,
+		CheckpointDir:   *ckptDir,
+	}
+
+	if *bisect != "" {
+		dirs := strings.SplitN(*bisect, ",", 2)
+		if len(dirs) != 2 {
+			fmt.Fprintln(os.Stderr, "-bisect wants two snapshot directories: dirA,dirB")
+			os.Exit(2)
+		}
+		if err := experiments.BisectDirs(dirs[0], dirs[1], os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "bisect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *resume != "" {
+		if err := experiments.ResumeFile(opts, *resume, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "resume: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var todo []experiments.Experiment
 	if *run == "all" {

@@ -51,6 +51,7 @@ func RunFaults(o Options, w io.Writer) error {
 		for _, proto := range Comparators {
 			spec := faultSpec(o, proto, level, horizon)
 			spec.Metrics = o.metrics(fmt.Sprintf("faults-level%d-%s", level, proto))
+			spec.Checkpoint = o.checkpoint(fmt.Sprintf("faults-level%d-%s", level, proto))
 			specs = append(specs, spec)
 		}
 	}

@@ -63,6 +63,7 @@ func RunFig3a(o Options, w io.Writer) error {
 			load := (ss[i].lo + ss[i].hi) / 2
 			specs[i] = loadSpec(o, proto, dist, load, horizon)
 			specs[i].Metrics = o.metrics(fmt.Sprintf("fig3a-%s-load%.3f", proto, load))
+			specs[i].Checkpoint = o.checkpoint(fmt.Sprintf("fig3a-%s-load%.3f", proto, load))
 		}
 		for i, res := range RunMany(specs, o.workers()) {
 			s := &ss[i]
@@ -108,6 +109,7 @@ func RunFig3b(o Options, w io.Writer) error {
 		for _, proto := range Comparators {
 			spec := loadSpec(o, proto, dist, 0.6, horizon)
 			spec.Metrics = o.metrics(fmt.Sprintf("fig3b-%s-%s", dist.Name(), proto))
+			spec.Checkpoint = o.checkpoint(fmt.Sprintf("fig3b-%s-%s", dist.Name(), proto))
 			specs = append(specs, spec)
 		}
 	}

@@ -70,6 +70,14 @@ type Options struct {
 	// instrumented experiments: each labeled run writes its sampled CSV
 	// series and JSON report under this directory.
 	MetricsDir string
+	// CheckpointEvery, when positive, snapshots every instrumented run at
+	// this simulated-time cadence (see internal/checkpoint). Snapshots are
+	// pure reads taken at barrier sync points, so the simulated packet
+	// stream — and every digest — is unchanged.
+	CheckpointEvery sim.Duration
+	// CheckpointDir, when non-empty, receives the snapshot files
+	// (<label>.ck<index>.dcpimck) of checkpointed runs.
+	CheckpointDir string
 	// Queue selects the engine event-queue discipline (heap, ladder, or
 	// auto-pick from expected event density). Execution order — and thus
 	// every digest — is identical under either discipline; only wall-clock
@@ -111,6 +119,15 @@ func (o Options) metrics(label string) *MetricsSpec {
 	return &MetricsSpec{Dir: o.MetricsDir, Label: label}
 }
 
+// checkpoint returns a CheckpointSpec labeled for one run, or nil when
+// periodic snapshots are disabled (no CheckpointEvery).
+func (o Options) checkpoint(label string) *CheckpointSpec {
+	if o.CheckpointEvery <= 0 {
+		return nil
+	}
+	return &CheckpointSpec{Every: o.CheckpointEvery, Dir: o.CheckpointDir, Label: label, Journal: true}
+}
+
 // RunSpec describes one simulation run.
 type RunSpec struct {
 	Protocol string
@@ -128,6 +145,11 @@ type RunSpec struct {
 	// resilience experiment scripts link failures, loss bursts, switch
 	// reboots and host pauses against every protocol identically.
 	Faults *faults.Schedule
+	// Checkpoint, when set, snapshots the full simulation state every
+	// Checkpoint.Every of simulated time (Run then routes through
+	// RunCheckpointed). Capture is pure reads at barrier sync points, so
+	// results are byte-identical with and without it.
+	Checkpoint *CheckpointSpec
 	// Digest, when set, folds every delivered packet (time, host, and
 	// header fields) into RunResult.Digest. Determinism tests compare
 	// digests across serial and parallel execution and against golden
@@ -216,7 +238,44 @@ func (r RunResult) Completion() float64 {
 // a seed-derived RNG stream, so the result — records, counters, digest,
 // metrics — is the same at every shard count. Panics when the topology
 // cannot be cut into that many shards (topo.MaxShards gives the limit).
+//
+// When spec.Checkpoint is set the run routes through RunCheckpointed,
+// which advances in cadence-sized windows and snapshots at each
+// boundary; results are byte-identical either way.
 func Run(spec RunSpec) RunResult {
+	if spec.Checkpoint != nil {
+		res, _ := RunCheckpointed(spec)
+		return res
+	}
+	rs := newRunState(spec)
+	defer rs.close()
+	rs.runTo(sim.Time(spec.Horizon))
+	return rs.result()
+}
+
+// runState is one simulation mid-flight: the wired fabric, engines,
+// collector and sampler, paused at a barrier sync point. Run drives it
+// to the horizon in one call; the checkpoint paths (RunCheckpointed,
+// Resume) drive it window by window, capturing snapshots between
+// windows. Window placement never changes execution order — engines run
+// events strictly in (time, seq) order and windows only bound how far —
+// so both drivers produce byte-identical results.
+type runState struct {
+	spec        RunSpec
+	q           sim.QueueDiscipline
+	engines     []*sim.Engine
+	grp         *sim.Group
+	col         *stats.Collector
+	fab         *netsim.Fabric
+	reg         *metrics.Registry
+	smp         *metrics.Sampler
+	interval    sim.Duration
+	hostDigests []uint64
+}
+
+// newRunState wires one simulation and injects its trace; the returned
+// state sits at t=0 ready for runTo. Call close when done.
+func newRunState(spec RunSpec) *runState {
 	n := spec.Shards
 	if n < 1 {
 		n = 1
@@ -227,7 +286,6 @@ func Run(spec RunSpec) RunResult {
 		engines[i] = sim.NewEngineQueue(spec.Seed, q)
 	}
 	grp := sim.NewGroup(engines)
-	defer grp.Close()
 	part, err := topo.MakePartition(spec.Topo, n)
 	if err != nil {
 		panic("experiments: " + err.Error())
@@ -297,31 +355,53 @@ func Run(spec RunSpec) RunResult {
 		interval = spec.Metrics.sampleInterval(spec.Horizon)
 		smp = metrics.NewSampler(engines[0], reg, interval)
 	}
+	if spec.Checkpoint != nil && spec.Checkpoint.Journal {
+		for _, eng := range engines {
+			eng.StartJournal()
+		}
+	}
 	fab.Start()
 	fab.Inject(spec.Trace)
 	smp.SampleAt(0)
-	fab.RunSynced(sim.Time(spec.Horizon), interval, smp.SampleAt)
+	return &runState{
+		spec: spec, q: q, engines: engines, grp: grp, col: col,
+		fab: fab, reg: reg, smp: smp, interval: interval,
+		hostDigests: hostDigests,
+	}
+}
 
+// runTo advances the simulation to t (a no-op when already there).
+// Repeated calls with increasing targets execute the same event stream
+// as a single call to the final target.
+func (rs *runState) runTo(t sim.Time) {
+	rs.fab.RunSynced(t, rs.interval, rs.smp.SampleAt)
+}
+
+func (rs *runState) close() { rs.grp.Close() }
+
+// result assembles the RunResult; call after runTo(horizon).
+func (rs *runState) result() RunResult {
+	spec := rs.spec
 	var digest uint64
 	if spec.Digest {
 		digest = fnvOffset
-		for _, d := range hostDigests {
+		for _, d := range rs.hostDigests {
 			digest = fnvMix(digest, d)
 		}
 	}
 	var events uint64
-	for _, eng := range engines {
+	for _, eng := range rs.engines {
 		events += eng.Events()
 	}
 	res := RunResult{
 		Digest:     digest,
 		Events:     events,
-		Queue:      q,
-		ShardStats: fab.ShardStats(),
+		Queue:      rs.q,
+		ShardStats: rs.fab.ShardStats(),
 		Protocol:   spec.Protocol,
-		Records:    col.Records(),
-		Col:        col,
-		Counters:   fab.Counters,
+		Records:    rs.col.Records(),
+		Col:        rs.col,
+		Counters:   rs.fab.Counters,
 		Offered:    spec.Trace.OfferedBytes,
 		Started:    int64(len(spec.Trace.Flows)),
 		Hosts:      spec.Topo.NumHosts,
@@ -330,7 +410,7 @@ func Run(spec RunSpec) RunResult {
 		End:        sim.Time(spec.Horizon),
 	}
 	if spec.Metrics != nil {
-		res.MetricsCSV, res.MetricsJSON = emitMetrics(spec, reg, smp)
+		res.MetricsCSV, res.MetricsJSON = emitMetrics(spec, rs.reg, rs.smp)
 	}
 	return res
 }
@@ -393,6 +473,7 @@ func All() []Experiment {
 		{"ablation", "dcPIM design ablations: FCT round on/off, token window sizing", RunAblation},
 		{"faults", "Fault resilience: FCT and completion vs fault intensity", RunFaults},
 		{"scale", "Hyperscale campaign: hosts × load × shards × queue discipline", RunScale},
+		{"ckpt", "Checkpoint/restore: periodic snapshots, verified resume equivalence", RunCkpt},
 	}
 }
 

@@ -1,0 +1,17 @@
+package faults
+
+import "dcpim/internal/checkpoint"
+
+// Fingerprint returns a stable hash of the schedule, folding its
+// canonical text form (Format is a lossless round trip, so two schedules
+// fingerprint equal iff they install identical fault timelines). It
+// feeds the run-spec hash that checkpoint resume uses to reject
+// snapshots taken under a different fault schedule. Nil-safe: no
+// schedule hashes to the fold seed.
+func (s *Schedule) Fingerprint() uint64 {
+	h := uint64(checkpoint.FoldInit)
+	if s == nil {
+		return h
+	}
+	return checkpoint.FoldBytes(h, []byte(s.Format()))
+}

@@ -188,9 +188,10 @@ func NewSharded(grp *sim.Group, t *topo.Topology, cfg Config, part *topo.Partiti
 	f.switches = make([]*swDev, len(t.Switches))
 	for i, sw := range t.Switches {
 		sh := f.shards[part.SwitchShard[i]]
+		src := sim.NewCountingSource(deviceSeed(seed, 1, i))
 		d := &swDev{
 			fab: f, spec: sw, sh: sh,
-			rng: rand.New(rand.NewSource(deviceSeed(seed, 1, i))),
+			src: src, rng: rand.New(src),
 		}
 		d.ports = make([]*outPort, len(sw.Ports))
 		d.ingressBytes = make([]int64, len(sw.Ports)+1)
@@ -208,9 +209,10 @@ func NewSharded(grp *sim.Group, t *topo.Topology, cfg Config, part *topo.Partiti
 	for h := 0; h < t.NumHosts; h++ {
 		up := t.HostLink
 		sh := f.shards[part.HostShard[h]]
+		src := sim.NewCountingSource(deviceSeed(seed, 2, h))
 		host := &Host{
 			id: h, fab: f, sh: sh,
-			rng: rand.New(rand.NewSource(deviceSeed(seed, 2, h))),
+			src: src, rng: rand.New(src),
 		}
 		host.nic = &outPort{
 			fab: f, sh: sh, rng: host.rng,
@@ -287,6 +289,7 @@ type Host struct {
 	id    int
 	fab   *Fabric
 	sh    *shardState
+	src   *sim.CountingSource // rng's source, counted for checkpointing
 	rng   *rand.Rand
 	proto Protocol
 	nic   *outPort
@@ -362,7 +365,8 @@ type swDev struct {
 	fab   *Fabric
 	spec  *topo.Switch
 	sh    *shardState
-	rng   *rand.Rand // private stream for spraying and fault draws
+	src   *sim.CountingSource // rng's source, counted for checkpointing
+	rng   *rand.Rand          // private stream for spraying and fault draws
 	ports []*outPort
 
 	// down marks a rebooting switch: arrivals are discarded (FaultDrops)

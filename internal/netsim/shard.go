@@ -82,8 +82,12 @@ func (f *Fabric) RunSynced(until sim.Time, interval sim.Duration, atSync func(si
 	if len(f.shards) == 1 {
 		eng := f.eng
 		if interval > 0 {
+			// Sample points at or before the current clock were already
+			// taken by an earlier windowed call (checkpointing drivers call
+			// RunSynced repeatedly with increasing horizons); <= keeps the
+			// resumed schedule identical to one uninterrupted call.
 			for next := sim.Time(interval); next <= until; next = next.Add(interval) {
-				if next < eng.Now() {
+				if next <= eng.Now() {
 					continue
 				}
 				eng.Run(next)

@@ -28,10 +28,14 @@ type Engine struct {
 	qa     []*event // arrival-band events (ScheduleArrival), same order
 	seq    uint64
 	seed   int64
+	src    *CountingSource // rng's source, counted so RNG position is checkpointable
 	rng    *rand.Rand
 	nEvent uint64 // total events executed, for instrumentation
 	free   *event // recycled events, linked through event.next
 	freeN  int    // free-list length, bounded by maxFreeEvents
+
+	journalOn bool          // record executed events (checkpoint bisection)
+	journal   []EventRecord // (at, seq) of every event run since StartJournal
 }
 
 // QueueDiscipline selects the data structure holding band-0 events.
@@ -160,7 +164,8 @@ func NewEngine(seed int64) *Engine {
 // lifetime. Execution order — and so every simulation result — is
 // identical under either discipline.
 func NewEngineQueue(seed int64, q QueueDiscipline) *Engine {
-	e := &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	src := NewCountingSource(seed)
+	e := &Engine{seed: seed, src: src, rng: rand.New(src)}
 	if q == QueueLadder {
 		e.lad = new(ladder)
 	}
@@ -381,6 +386,9 @@ func (e *Engine) Step() bool {
 	}
 	e.now = t.at
 	e.nEvent++
+	if e.journalOn {
+		e.journal = append(e.journal, EventRecord{At: t.at, Seq: t.seq})
+	}
 	fn, fnArgs, a, b, i := t.fn, t.fnArgs, t.a, t.b, t.i
 	e.recycle(t)
 	if fnArgs != nil {

@@ -1,0 +1,40 @@
+package stats
+
+import "dcpim/internal/checkpoint"
+
+// CaptureState serializes the collector's accumulated results: per
+// shard-local child (in shard order), the start/delivery counters, a
+// fold over every completion record, and the utilization bins. Records
+// are folded rather than listed — capture size stays bounded by bin
+// count, not flow count — while still pinning every record field: any
+// differing completion changes the fold. Call on the root collector with
+// all shards quiescent.
+func (c *Collector) CaptureState(enc *checkpoint.Encoder) {
+	if c == nil {
+		enc.U32(0)
+		return
+	}
+	var locals []*Collector
+	c.each(func(s *Collector) { locals = append(locals, s) })
+	enc.U32(uint32(len(locals)))
+	for _, s := range locals {
+		enc.I64(s.started)
+		enc.I64(s.delivered)
+		enc.U32(uint32(len(s.records)))
+		h := uint64(checkpoint.FoldInit)
+		for _, r := range s.records {
+			h = checkpoint.Fold(h, r.ID)
+			h = checkpoint.Fold(h, uint64(r.Src)<<32|uint64(uint32(r.Dst)))
+			h = checkpoint.Fold(h, uint64(r.Size))
+			h = checkpoint.Fold(h, uint64(r.Arrival))
+			h = checkpoint.Fold(h, uint64(r.Finish))
+			h = checkpoint.Fold(h, uint64(r.Optimal))
+		}
+		enc.U64(h)
+		enc.I64(int64(s.binWidth))
+		enc.U32(uint32(len(s.bins)))
+		for _, b := range s.bins {
+			enc.I64(b)
+		}
+	}
+}
