@@ -89,14 +89,18 @@ func BenchmarkAblations(b *testing.B)          { benchExperiment(b, "ablation", 
 // ---- Substrate microbenchmarks ----
 
 // BenchmarkPIMMatching measures the abstract matching algorithm at the
-// paper's scale (144 hosts, sparse).
+// paper's scale (144 hosts, sparse) through the matcher registry.
 func BenchmarkPIMMatching(b *testing.B) {
 	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	g := matching.RandomGraph(rng, 144, 144, 4)
+	m, err := matching.MustLookup("dcpim").New(matching.Options{Rounds: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matching.PIM(g, 4, rng)
+		m.Match(g, rng)
 	}
 }
 
@@ -105,9 +109,13 @@ func BenchmarkChannelMatching(b *testing.B) {
 	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
 	g := matching.RandomGraph(rng, 144, 144, 4)
+	m, err := matching.MustLookup("dcpim-k").New(matching.Options{Rounds: 4, K: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		matching.ChannelMatch(g, 4, 4, rng, matching.ChannelOptions{})
+		m.Match(g, rng)
 	}
 }
 

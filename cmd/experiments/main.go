@@ -12,6 +12,8 @@
 //	experiments -run fig3a -parallel 8    # sweep probes on 8 workers
 //	experiments -run fig5cd -shards 4     # one fabric across 4 cores, byte-identical output
 //	experiments -run faults               # scripted link/switch/host faults
+//	experiments -run matchers             # matcher lab: registry-wide sweep
+//	experiments -run matchers -matchers pim,budget-pim -metrics out/
 //	experiments -benchjson bench/         # machine-readable substrate benchmarks
 //	experiments -run fig3a -metrics out/  # per-run CSV series + JSON reports
 //	experiments -run fig3b -cpuprofile cpu.pprof
@@ -48,6 +50,7 @@ func main() {
 		benchjson  = flag.String("benchjson", "", "run the substrate benchmark suite and write BENCH_<name>.json files into this directory, then exit")
 		benchcheck = flag.String("benchcheck", "", "re-run the substrate benchmarks against the baseline BENCH_*.json files in this directory and exit nonzero on a >10% ns/op regression")
 		queue      = flag.String("queue", "auto", "engine event-queue discipline: auto, heap, or ladder; output is identical under any setting")
+		matchers   = flag.String("matchers", "", "restrict the matchers experiment to these comma-separated registered matchers (empty = all)")
 		ckptEvery  = flag.Duration("checkpoint", 0, "snapshot instrumented runs every this much simulated time (e.g. 100us); pair with -checkpoint-dir to keep the files")
 		ckptDir    = flag.String("checkpoint-dir", "", "write snapshot files (*.dcpimck) into this directory")
 		resume     = flag.String("resume", "", "resume (verified replay) a ckpt-experiment snapshot file to its horizon, then exit")
@@ -123,7 +126,7 @@ func main() {
 
 	opts := experiments.Options{
 		Seed: *seed, Scale: *scale, Hosts: *hosts, Workers: *parallel,
-		Shards: *shards, MetricsDir: *metricsDir, Queue: qd,
+		Shards: *shards, MetricsDir: *metricsDir, Queue: qd, Matchers: *matchers,
 		// Simulated time is picoseconds; time.Duration is nanoseconds.
 		CheckpointEvery: sim.Duration(ckptEvery.Nanoseconds()) * 1000,
 		CheckpointDir:   *ckptDir,

@@ -1,26 +1,42 @@
 // Command pimlab explores the matching theory standalone (no packet
-// simulation): it sweeps rounds and average degree over random bipartite
-// graphs and prints measured matching fractions next to Theorem 1's
-// analytical bound, plus the multi-channel extension's effective capacity.
+// simulation). It drives the matcher registry in internal/matching: pick
+// any registered matcher (or all of them), a graph grid, and optional
+// communication budgets, and it prints convergence rounds, control
+// overhead and matching size vs M* — the same sweep engine and CSV
+// schema as `experiments -run matchers`.
 //
 // Usage:
 //
-//	pimlab -n 1024 -deg 5 -trials 30
-//	pimlab -n 4096 -deg 2,5,10 -rounds 1,2,3,4,6 -k 4
+//	pimlab -list
+//	pimlab -n 1024 -deg 5 -trials 10
+//	pimlab -matcher budget-pim -budget 0.25,0.05 -n 4096
+//	pimlab -matcher dcpim,maximal -dense -n 256 -csv out.csv
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
+	"dcpim/internal/experiments"
 	"dcpim/internal/matching"
 )
 
-func parseList(s string) ([]float64, error) {
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
 	var out []float64
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
@@ -34,60 +50,97 @@ func parseList(s string) ([]float64, error) {
 
 func main() {
 	var (
-		n      = flag.Int("n", 1024, "hosts per side of the bipartite graph")
-		degs   = flag.String("deg", "2,5,10", "average degrees to sweep (comma-separated)")
-		rounds = flag.String("rounds", "1,2,3,4,6", "round counts to sweep")
-		k      = flag.Int("k", 4, "channels for the multi-channel table")
-		trials = flag.Int("trials", 20, "trials per cell")
-		seed   = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list registered matchers and exit")
+		ns       = flag.String("n", "1024", "ports per side to sweep (comma-separated)")
+		deg      = flag.Float64("deg", 4, "average sender degree of the sparse graphs")
+		dense    = flag.Bool("dense", false, "use complete bipartite graphs instead of sparse random ones")
+		matcher  = flag.String("matcher", "", "registered matchers to run (comma-separated; empty = all)")
+		budget   = flag.String("budget", "", "per-round communication budgets as fractions of an unconstrained round, e.g. 0.25,0.05 (budgeted matchers only)")
+		trials   = flag.Int("trials", 5, "trials per cell")
+		seed     = flag.Int64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "sweep cells run on this many workers (0 = GOMAXPROCS); output is identical at any setting")
+		csvPath  = flag.String("csv", "", "also write every trial row as CSV to this file (same schema as experiments -metrics)")
 	)
 	flag.Parse()
 
-	degList, err := parseList(*degs)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bad -deg:", err)
-		os.Exit(2)
-	}
-	roundList, err := parseList(*rounds)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bad -rounds:", err)
-		os.Exit(2)
-	}
-
-	fmt.Printf("PIM matching quality on random bipartite graphs, n=%d, %d trials per cell\n\n", *n, *trials)
-	fmt.Printf("%-8s", "deg\\r")
-	for _, r := range roundList {
-		fmt.Printf("  r=%-12.0f", r)
-	}
-	fmt.Println()
-	for _, deg := range degList {
-		fmt.Printf("%-8.1f", deg)
-		for _, rf := range roundList {
-			r := int(rf)
-			var frac, bound float64
-			for trial := 0; trial < *trials; trial++ {
-				rng := rand.New(rand.NewSource(*seed + int64(trial) + int64(1000*r)))
-				g := matching.RandomGraph(rng, *n, *n, deg)
-				mStar := matching.ConvergedPIM(g, rand.New(rand.NewSource(*seed+int64(trial)))).Size()
-				if mStar == 0 {
-					continue
-				}
-				frac += float64(matching.PIM(g, r, rng).Size()) / float64(mStar)
-				bound += matching.TheoremBound(g.AvgDegree(), float64(*n)/float64(mStar), r)
+	if *list {
+		fmt.Println("registered matchers:")
+		for _, name := range matching.Names() {
+			d := matching.MustLookup(name)
+			tag := ""
+			if d.Budgeted {
+				tag = " [budgeted]"
 			}
-			fmt.Printf("  %.3f(≥%.3f)", frac/float64(*trials), bound/float64(*trials))
+			fmt.Printf("  %-14s %s%s\n", name, d.Doc, tag)
 		}
-		fmt.Println()
+		return
 	}
 
-	fmt.Printf("\nMulti-channel matching (k=%d) with unit per-edge demand — matched pairs:\n", *k)
-	fmt.Printf("%-8s  %-10s  %-10s\n", "deg", "k=1", fmt.Sprintf("k=%d", *k))
-	for _, deg := range degList {
-		rng := rand.New(rand.NewSource(*seed + 99))
-		g := matching.RandomGraph(rng, *n, *n, deg)
-		demand := matching.ChannelOptions{Demand: func(s, r int) int { return 1 }}
-		m1 := matching.ChannelMatch(g, 4, 1, rand.New(rand.NewSource(*seed)), demand)
-		mk := matching.ChannelMatch(g, 4, *k, rand.New(rand.NewSource(*seed)), demand)
-		fmt.Printf("%-8.1f  %-10d  %-10d\n", deg, m1.TotalChannels(), mk.TotalChannels())
+	ports, err := parseInts(*ns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -n:", err)
+		os.Exit(2)
+	}
+	var fracs []float64
+	if *budget != "" {
+		if fracs, err = parseFloats(*budget); err != nil {
+			fmt.Fprintln(os.Stderr, "bad -budget:", err)
+			os.Exit(2)
+		}
+	}
+	names := matching.Names()
+	if *matcher != "" {
+		names = nil
+		for _, name := range strings.Split(*matcher, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := matching.Lookup(name); !ok {
+				fmt.Fprintf(os.Stderr, "unknown matcher %q (registered: %v)\n", name, matching.Names())
+				os.Exit(2)
+			}
+			names = append(names, name)
+		}
+	}
+
+	cfg := experiments.MatcherSweepConfig{
+		Matchers:    names,
+		Degree:      *deg,
+		BudgetFracs: fracs,
+		Trials:      *trials,
+		Seed:        *seed,
+		Workers:     *parallel,
+	}
+	kind := "sparse"
+	if *dense {
+		cfg.DensePorts = ports
+		kind = "dense"
+	} else {
+		cfg.SparsePorts = ports
+	}
+
+	fmt.Printf("pimlab: %v on %s graphs n=%v (δ̄=%.1f), %d trials per cell\n\n",
+		names, kind, ports, *deg, *trials)
+	rows, err := experiments.MatcherSweep(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	experiments.FormatMatcherTable(os.Stdout, rows)
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteMatcherCSV(f, rows); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d rows)\n", *csvPath, len(rows))
 	}
 }

@@ -50,8 +50,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("bogus id found")
 	}
-	if len(All()) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(All()))
+	if len(All()) != 17 {
+		t.Fatalf("experiments = %d, want 17", len(All()))
 	}
 }
 

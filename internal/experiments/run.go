@@ -83,6 +83,10 @@ type Options struct {
 	// every digest — is identical under either discipline; only wall-clock
 	// time changes. See DESIGN.md §13.
 	Queue sim.QueueDiscipline
+	// Matchers restricts the `matchers` experiment to a comma-separated
+	// list of registered matcher names (empty = all registered; see
+	// internal/matching's registry and DESIGN.md §15).
+	Matchers string
 }
 
 // DefaultOptions returns full-fidelity settings.
@@ -474,6 +478,7 @@ func All() []Experiment {
 		{"faults", "Fault resilience: FCT and completion vs fault intensity", RunFaults},
 		{"scale", "Hyperscale campaign: hosts × load × shards × queue discipline", RunScale},
 		{"ckpt", "Checkpoint/restore: periodic snapshots, verified resume equivalence", RunCkpt},
+		{"matchers", "Matcher lab: registry-wide matcher-vs-matcher sweep (rounds, control bytes, size vs M*)", RunMatchers},
 	}
 }
 

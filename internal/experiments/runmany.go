@@ -26,35 +26,47 @@ import (
 // serial run at any worker count.
 func RunMany(specs []RunSpec, workers int) []RunResult {
 	results := make([]RunResult, len(specs))
+	forEachIndex(len(specs), workers, func(i int) {
+		results[i] = Run(specs[i])
+	})
+	return results
+}
+
+// forEachIndex invokes fn(i) for every i in [0, n) on a pool of workers
+// goroutines (<= 0 means GOMAXPROCS; <= 1 is a plain serial loop). It is
+// the execution core of RunMany and MatcherSweep: fn must be a pure
+// function of i writing only to its own slot, which makes the result
+// independent of the worker count and scheduling — parallelism changes
+// wall-clock time only.
+func forEachIndex(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(specs) {
-		workers = len(specs)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i := range specs {
-			results[i] = Run(specs[i])
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
-		return results
+		return
 	}
 	var next atomic.Int64
-	//lint:ignore simgoroutine RunMany is the sanctioned sweep-level worker pool; each worker owns whole runs
+	//lint:ignore simgoroutine forEachIndex is the sanctioned sweep-level worker pool; each worker owns whole cells
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		//lint:ignore simgoroutine RunMany's workers never share a fabric; parallelism is across independent runs
+		//lint:ignore simgoroutine pool workers never share a fabric or RNG; parallelism is across independent cells
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(specs) {
+				if i >= n {
 					return
 				}
-				results[i] = Run(specs[i])
+				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
-	return results
 }

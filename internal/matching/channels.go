@@ -1,21 +1,9 @@
 package matching
 
-import "math/rand"
-
-// ChannelOptions tunes the multi-channel matcher.
-type ChannelOptions struct {
-	// Demand returns how many channels sender s needs toward receiver r
-	// (≥1; capped at K). Nil means "as many as possible" (K).
-	Demand func(s, r int) int
-	// Remaining returns the remaining-bytes key used by the
-	// FCT-optimizing first round (§3.5): lower sorts first. Nil disables
-	// the FCT round (all rounds pick uniformly at random).
-	Remaining func(s, r int) int64
-	// OnRound, if non-nil, is invoked after every completed round with
-	// the 0-based round index and the cumulative number of matched
-	// channels. Rounds skipped by early convergence do not fire.
-	OnRound func(round, matchedChannels int)
-}
+import (
+	"fmt"
+	"math/rand"
+)
 
 // ChannelMatching is a bipartite b-matching: up to K channels per sender
 // and per receiver, each matched channel pairing one sender with one
@@ -80,38 +68,76 @@ func (m *ChannelMatching) Valid(g *Graph) bool {
 	return true
 }
 
+// Project collapses the b-matching onto a unit Matching on g: each
+// sender is paired with the neighbor it holds the most channels toward
+// (ties to the lower receiver index), subject to one-to-one feasibility,
+// processing senders in index order. Deterministic; used by the registry
+// adapters so every matcher yields a comparable *Matching.
+func (m *ChannelMatching) Project(g *Graph) *Matching {
+	um := &Matching{
+		SenderOf:   fillNeg(g.Receivers),
+		ReceiverOf: fillNeg(g.Senders),
+	}
+	for s := 0; s < g.Senders; s++ {
+		best, bestC := -1, 0
+		for _, r := range g.Adj[s] {
+			if um.SenderOf[r] >= 0 {
+				continue
+			}
+			if c := m.Channels[[2]int{s, r}]; c > bestC {
+				best, bestC = r, c
+			}
+		}
+		if best >= 0 {
+			um.SenderOf[best] = s
+			um.ReceiverOf[s] = best
+		}
+	}
+	return um
+}
+
 // channelReq is a request or grant for some channels on one edge.
 type channelReq struct {
 	peer int // the other endpoint
 	want int
 }
 
-// ChannelMatch runs dcPIM's multi-channel matching (§3.4) for the given
-// number of rounds with K channels per host. Receivers request channels
-// from senders they have demand for; senders grant within their free
-// budget; receivers accept within theirs. If opts.Remaining is set, the
-// first round orders grant and accept choices by smallest remaining bytes
-// (the FCT-optimizing round); all other choices are uniform random.
-func ChannelMatch(g *Graph, rounds, k int, rng *rand.Rand, opts ChannelOptions) *ChannelMatching {
+// ChannelMatch runs dcPIM's multi-channel matching (§3.4) for o.Rounds
+// rounds with o.K channels per host. Receivers request channels from
+// senders they have demand for; senders grant within their free budget;
+// receivers accept within theirs. If o.Remaining is set, the first round
+// orders grant and accept choices by smallest remaining bytes (the
+// FCT-optimizing round); all other choices are uniform random.
+//
+// Options are taken literally (no registry defaulting): Rounds = 0 runs
+// zero rounds. Invalid options (o.Validate() != nil) panic — a direct
+// call with k < 1 or a NaN budget is a programmer error; the registry's
+// New returns it as an error instead.
+func ChannelMatch(g *Graph, o Options, rng *rand.Rand) *ChannelMatching {
+	if err := o.Validate(); err != nil {
+		panic(fmt.Sprintf("matching: ChannelMatch: %v", err))
+	}
+	k := o.K
 	m := &ChannelMatching{
 		K:            k,
 		Channels:     make(map[[2]int]int),
 		SenderUsed:   make([]int, g.Senders),
 		ReceiverUsed: make([]int, g.Receivers),
 	}
-	demand := opts.Demand
+	demand := o.Demand
 	if demand == nil {
 		demand = func(int, int) int { return k }
 	}
 	matched := 0 // running TotalChannels, kept incrementally for OnRound
 
-	for round := 0; round < rounds; round++ {
-		srpt := round == 0 && opts.Remaining != nil
+	for round := 0; round < o.Rounds; round++ {
+		srpt := round == 0 && o.Remaining != nil
 
 		// Request stage: receivers ask senders for channels. We iterate
 		// sender-side for cache friendliness; requests[s] collects them.
 		requests := make([][]channelReq, g.Senders)
 		active := false
+		var reqMsgs int64
 		for s := 0; s < g.Senders; s++ {
 			freeS := k - m.SenderUsed[s]
 			if freeS <= 0 {
@@ -130,23 +156,28 @@ func ChannelMatch(g *Graph, rounds, k int, rng *rand.Rand, opts ChannelOptions) 
 					want = freeR
 				}
 				requests[s] = append(requests[s], channelReq{peer: r, want: want})
+				reqMsgs++
 				active = true
 			}
 		}
 		if !active {
+			if o.stats != nil {
+				o.stats.Converged = true
+			}
 			break
 		}
 
 		// Grant stage: each sender distributes its free channels over the
 		// requests, in SRPT or random order.
 		grants := make([][]channelReq, g.Receivers)
+		var grantMsgs int64
 		for s := 0; s < g.Senders; s++ {
 			reqs := requests[s]
 			if len(reqs) == 0 {
 				continue
 			}
 			free := k - m.SenderUsed[s]
-			order(reqs, rng, srpt, func(r int) int64 { return opts.Remaining(s, r) })
+			order(reqs, rng, srpt, func(r int) int64 { return o.Remaining(s, r) })
 			for _, rq := range reqs {
 				if free <= 0 {
 					break
@@ -156,18 +187,20 @@ func ChannelMatch(g *Graph, rounds, k int, rng *rand.Rand, opts ChannelOptions) 
 					give = free
 				}
 				grants[rq.peer] = append(grants[rq.peer], channelReq{peer: s, want: give})
+				grantMsgs++
 				free -= give
 			}
 		}
 
 		// Accept stage: each receiver accepts grants within its budget.
+		var acceptMsgs int64
 		for r := 0; r < g.Receivers; r++ {
 			gs := grants[r]
 			if len(gs) == 0 {
 				continue
 			}
 			free := k - m.ReceiverUsed[r]
-			order(gs, rng, srpt, func(s int) int64 { return opts.Remaining(s, r) })
+			order(gs, rng, srpt, func(s int) int64 { return o.Remaining(s, r) })
 			for _, gr := range gs {
 				if free <= 0 {
 					break
@@ -179,13 +212,23 @@ func ChannelMatch(g *Graph, rounds, k int, rng *rand.Rand, opts ChannelOptions) 
 				m.Channels[[2]int{gr.peer, r}] += take
 				m.SenderUsed[gr.peer] += take
 				m.ReceiverUsed[r] += take
+				if take > 0 {
+					acceptMsgs++
+				}
 				matched += take
 				free -= take
 			}
 		}
-		if opts.OnRound != nil {
-			opts.OnRound(round, matched)
+		if o.stats != nil {
+			o.stats.note(reqMsgs+grantMsgs+acceptMsgs, matched)
 		}
+		if o.OnRound != nil {
+			o.OnRound(round, matched)
+		}
+	}
+	if o.stats != nil {
+		o.stats.MatchedChannels = matched
+		o.stats.K = k
 	}
 	return m
 }

@@ -4,6 +4,14 @@
 // the testable embodiment of the paper's §2 and Theorem 1: the transport
 // in internal/core realizes the same logic with control packets and stage
 // timers.
+//
+// Beyond the fixed algorithms, the package hosts a self-registering
+// matcher registry (Register/MustLookup, mirroring internal/protocols):
+// every variant — classic PIM, dcPIM's bounded-round matcher, the greedy
+// maximal reference, the multi-channel b-matcher, communication-budget
+// matching (arXiv 2604.10744) and online dynamic b-matching
+// (arXiv 2006.10692) — is a Matcher resolved by name with validated
+// Options, returning a Matching plus convergence/communication Stats.
 package matching
 
 import (
@@ -43,7 +51,9 @@ func NewGraph(senders, receivers int, adj [][]int) (*Graph, error) {
 // RandomGraph generates a sparse bipartite graph where each possible edge
 // exists independently with probability avgDegree/receivers, giving
 // expected sender degree avgDegree — the sparse-traffic-matrix regime of
-// Theorem 1.
+// Theorem 1. It draws one uniform variate per possible edge (O(n²)); for
+// the 10^5-port regime use SparseRandomGraph, which samples the same
+// distribution in O(edges).
 func RandomGraph(rng *rand.Rand, senders, receivers int, avgDegree float64) *Graph {
 	p := avgDegree / float64(receivers)
 	if p > 1 {
@@ -54,6 +64,43 @@ func RandomGraph(rng *rand.Rand, senders, receivers int, avgDegree float64) *Gra
 		for r := 0; r < receivers; r++ {
 			if rng.Float64() < p {
 				adj[s] = append(adj[s], r)
+			}
+		}
+	}
+	return &Graph{Senders: senders, Receivers: receivers, Adj: adj}
+}
+
+// SparseRandomGraph samples the same edge distribution as RandomGraph —
+// each edge present independently with probability avgDegree/receivers —
+// but in O(edges) by drawing geometric gaps between successive present
+// edges instead of one coin per possible edge. This is what makes
+// 10^5-port sweep cells affordable (RandomGraph would need 10^10 draws).
+// The two generators realize different graphs for the same seed; within
+// one experiment always use one of them.
+func SparseRandomGraph(rng *rand.Rand, senders, receivers int, avgDegree float64) *Graph {
+	p := avgDegree / float64(receivers)
+	if p >= 1 {
+		return DenseGraph(senders, receivers)
+	}
+	adj := make([][]int, senders)
+	if p <= 0 {
+		return &Graph{Senders: senders, Receivers: receivers, Adj: adj}
+	}
+	logq := math.Log1p(-p) // log(1-p) < 0
+	for s := range adj {
+		r := 0
+		for {
+			// Geometric gap: number of absent edges before the next
+			// present one, Floor(log(1-U)/log(1-p)).
+			gap := math.Floor(math.Log1p(-rng.Float64()) / logq)
+			if gap >= float64(receivers-r) {
+				break
+			}
+			r += int(gap)
+			adj[s] = append(adj[s], r)
+			r++
+			if r >= receivers {
+				break
 			}
 		}
 	}
@@ -140,11 +187,15 @@ func (m *Matching) Valid(g *Graph) bool {
 	return true
 }
 
-// PIM runs the classic three-stage protocol for the given number of
-// rounds: unmatched senders request every unmatched neighbor, each
-// unmatched receiver grants one request uniformly at random, and each
-// sender accepts one received grant uniformly at random.
-func PIM(g *Graph, rounds int, rng *rand.Rand) *Matching {
+// runPIM is the shared three-stage PIM loop behind PIM, PIMRounds,
+// ConvergedPIM, RoundsToMaximal and the registry's pim/dcpim matchers:
+// unmatched senders request every unmatched neighbor, each unmatched
+// receiver grants one request uniformly at random, and each sender
+// accepts one received grant uniformly at random. When st is non-nil it
+// accumulates per-round accounting (rounds, control messages, cumulative
+// sizes); the accounting never draws from rng, so instrumented and plain
+// runs produce identical matchings for the same seed.
+func runPIM(g *Graph, rounds int, rng *rand.Rand, st *Stats) *Matching {
 	m := &Matching{
 		SenderOf:   fillNeg(g.Receivers),
 		ReceiverOf: fillNeg(g.Senders),
@@ -156,6 +207,7 @@ func PIM(g *Graph, rounds int, rng *rand.Rand) *Matching {
 		// lists explicitly keeps the random choice uniform.
 		requests := make([][]int, g.Receivers)
 		active := false
+		var reqMsgs int64
 		for s := 0; s < g.Senders; s++ {
 			if m.ReceiverOf[s] >= 0 {
 				continue
@@ -163,24 +215,33 @@ func PIM(g *Graph, rounds int, rng *rand.Rand) *Matching {
 			for _, r := range g.Adj[s] {
 				if m.SenderOf[r] < 0 {
 					requests[r] = append(requests[r], s)
+					reqMsgs++
 					active = true
 				}
 			}
 		}
 		if !active {
-			break // converged: maximal matching reached
+			// Converged: maximal matching reached. The probe round that
+			// observes it sends no messages and is not counted.
+			if st != nil {
+				st.Converged = true
+			}
+			break
 		}
 		for s := range grants {
 			grants[s] = grants[s][:0]
 		}
+		var grantMsgs int64
 		for r := 0; r < g.Receivers; r++ {
 			if m.SenderOf[r] >= 0 || len(requests[r]) == 0 {
 				continue
 			}
 			s := requests[r][rng.Intn(len(requests[r]))]
 			grants[s] = append(grants[s], r)
+			grantMsgs++
 		}
 		// Accept stage.
+		var acceptMsgs int64
 		for s := 0; s < g.Senders; s++ {
 			if len(grants[s]) == 0 || m.ReceiverOf[s] >= 0 {
 				continue
@@ -188,9 +249,19 @@ func PIM(g *Graph, rounds int, rng *rand.Rand) *Matching {
 			r := grants[s][rng.Intn(len(grants[s]))]
 			m.ReceiverOf[s] = r
 			m.SenderOf[r] = s
+			acceptMsgs++
+		}
+		if st != nil {
+			st.note(reqMsgs+grantMsgs+acceptMsgs, m.Size())
 		}
 	}
 	return m
+}
+
+// PIM runs the classic three-stage protocol for the given number of
+// rounds.
+func PIM(g *Graph, rounds int, rng *rand.Rand) *Matching {
+	return runPIM(g, rounds, rng, nil)
 }
 
 // PIMRounds runs PIM like PIM but additionally returns the cumulative
@@ -198,64 +269,49 @@ func PIM(g *Graph, rounds int, rng *rand.Rand) *Matching {
 // Theorem 1 bounds (sizes[i] is the size after round i). Rounds skipped
 // by early convergence are not reported, so len(sizes) ≤ rounds.
 func PIMRounds(g *Graph, rounds int, rng *rand.Rand) (*Matching, []int) {
-	m := &Matching{
-		SenderOf:   fillNeg(g.Receivers),
-		ReceiverOf: fillNeg(g.Senders),
+	var st Stats
+	m := runPIM(g, rounds, rng, &st)
+	return m, st.RoundSizes
+}
+
+// convergenceRounds is the round budget that makes PIM non-convergence
+// vanishingly unlikely on an n-port graph: PIM resolves ≥ 3/4 of requests
+// per round in expectation, so 4·log₂(n)+8 rounds suffice, and the
+// early-exit in runPIM stops as soon as the matching is maximal.
+func convergenceRounds(g *Graph) int {
+	n := g.Senders
+	if g.Receivers > n {
+		n = g.Receivers
 	}
-	sizes := make([]int, 0, rounds)
-	grants := make([][]int, g.Senders)
-	for round := 0; round < rounds; round++ {
-		requests := make([][]int, g.Receivers)
-		active := false
-		for s := 0; s < g.Senders; s++ {
-			if m.ReceiverOf[s] >= 0 {
-				continue
-			}
-			for _, r := range g.Adj[s] {
-				if m.SenderOf[r] < 0 {
-					requests[r] = append(requests[r], s)
-					active = true
-				}
-			}
-		}
-		if !active {
-			break
-		}
-		for s := range grants {
-			grants[s] = grants[s][:0]
-		}
-		for r := 0; r < g.Receivers; r++ {
-			if m.SenderOf[r] >= 0 || len(requests[r]) == 0 {
-				continue
-			}
-			s := requests[r][rng.Intn(len(requests[r]))]
-			grants[s] = append(grants[s], r)
-		}
-		for s := 0; s < g.Senders; s++ {
-			if len(grants[s]) == 0 || m.ReceiverOf[s] >= 0 {
-				continue
-			}
-			r := grants[s][rng.Intn(len(grants[s]))]
-			m.ReceiverOf[s] = r
-			m.SenderOf[r] = s
-		}
-		sizes = append(sizes, m.Size())
-	}
-	return m, sizes
+	return 4*int(math.Ceil(math.Log2(float64(n+1)))) + 8
 }
 
 // ConvergedPIM runs PIM until it reaches a maximal matching (PIM always
 // converges; ~log n rounds in expectation). This is the paper's M*.
 func ConvergedPIM(g *Graph, rng *rand.Rand) *Matching {
-	n := g.Senders
-	if g.Receivers > n {
-		n = g.Receivers
+	return runPIM(g, convergenceRounds(g), rng, nil)
+}
+
+// MaximalMatch returns a deterministic greedy maximal matching: each
+// sender in index order takes its first still-free neighbor. Like every
+// maximal matching it is a ≥1/2 approximation of the maximum matching —
+// the registry's centralized M* reference (zero control-plane cost, no
+// randomness).
+func MaximalMatch(g *Graph) *Matching {
+	m := &Matching{
+		SenderOf:   fillNeg(g.Receivers),
+		ReceiverOf: fillNeg(g.Senders),
 	}
-	// PIM resolves ≥ 3/4 of requests per round in expectation; 4·log₂(n)+8
-	// rounds make non-convergence vanishingly unlikely, and the early-exit
-	// in PIM stops as soon as the matching is maximal.
-	rounds := 4*int(math.Ceil(math.Log2(float64(n+1)))) + 8
-	return PIM(g, rounds, rng)
+	for s := 0; s < g.Senders; s++ {
+		for _, r := range g.Adj[s] {
+			if m.SenderOf[r] < 0 {
+				m.SenderOf[r] = s
+				m.ReceiverOf[s] = r
+				break
+			}
+		}
+	}
+	return m
 }
 
 // TheoremBound returns Theorem 1's guaranteed fraction of M* that dcPIM
@@ -277,49 +333,31 @@ func fillNeg(n int) []int {
 	return xs
 }
 
+// MaxMaximalRounds caps RoundsToMaximal. PIM provably matches at least
+// one pair per active round (some receiver grants, some sender accepts),
+// so min(senders, receivers) rounds always suffice — and on any graph it
+// converges in O(log n) rounds with overwhelming probability. A run that
+// is still active after this many rounds indicates a pathological or
+// corrupted graph rather than slow convergence, and RoundsToMaximal
+// reports it as an error instead of spinning unbounded.
+const MaxMaximalRounds = 4096
+
 // RoundsToMaximal runs PIM until the matching is maximal and returns how
 // many rounds it took — the quantity PIM's classic ~log n analysis bounds
 // and Theorem 1 sidesteps. Useful for convergence studies (cmd/pimlab).
-func RoundsToMaximal(g *Graph, rng *rand.Rand) int {
-	m := &Matching{
-		SenderOf:   fillNeg(g.Receivers),
-		ReceiverOf: fillNeg(g.Senders),
+// If the run is still not maximal after MaxMaximalRounds it returns the
+// executed round count and a non-nil error.
+func RoundsToMaximal(g *Graph, rng *rand.Rand) (int, error) {
+	return roundsToMaximalCapped(g, rng, MaxMaximalRounds)
+}
+
+// roundsToMaximalCapped is RoundsToMaximal with an explicit cap, split
+// out so tests can exercise the guard without a 4096-round pathology.
+func roundsToMaximalCapped(g *Graph, rng *rand.Rand, cap int) (int, error) {
+	var st Stats
+	runPIM(g, cap, rng, &st)
+	if !st.Converged {
+		return st.Rounds, fmt.Errorf("matching: not maximal after %d rounds (cap %d): pathological graph?", st.Rounds, cap)
 	}
-	grants := make([][]int, g.Senders)
-	for round := 0; ; round++ {
-		requests := make([][]int, g.Receivers)
-		active := false
-		for s := 0; s < g.Senders; s++ {
-			if m.ReceiverOf[s] >= 0 {
-				continue
-			}
-			for _, r := range g.Adj[s] {
-				if m.SenderOf[r] < 0 {
-					requests[r] = append(requests[r], s)
-					active = true
-				}
-			}
-		}
-		if !active {
-			return round
-		}
-		for s := range grants {
-			grants[s] = grants[s][:0]
-		}
-		for r := 0; r < g.Receivers; r++ {
-			if m.SenderOf[r] >= 0 || len(requests[r]) == 0 {
-				continue
-			}
-			s := requests[r][rng.Intn(len(requests[r]))]
-			grants[s] = append(grants[s], r)
-		}
-		for s := 0; s < g.Senders; s++ {
-			if len(grants[s]) == 0 || m.ReceiverOf[s] >= 0 {
-				continue
-			}
-			r := grants[s][rng.Intn(len(grants[s]))]
-			m.ReceiverOf[s] = r
-			m.SenderOf[r] = s
-		}
-	}
+	return st.Rounds, nil
 }

@@ -199,7 +199,7 @@ func TestPIMMonotoneProperty(t *testing.T) {
 func TestChannelMatchBasics(t *testing.T) {
 	g := DenseGraph(4, 4)
 	rng := rand.New(rand.NewSource(5))
-	m := ChannelMatch(g, 4, 4, rng, ChannelOptions{})
+	m := ChannelMatch(g, Options{Rounds: 4, K: 4}, rng)
 	if !m.Valid(g) {
 		t.Fatal("invalid channel matching")
 	}
@@ -216,9 +216,9 @@ func TestChannelMatchBasics(t *testing.T) {
 func TestChannelMatchRespectsDemand(t *testing.T) {
 	g := DenseGraph(3, 3)
 	rng := rand.New(rand.NewSource(8))
-	m := ChannelMatch(g, 6, 4, rng, ChannelOptions{
+	m := ChannelMatch(g, Options{Rounds: 6, K: 4,
 		Demand: func(s, r int) int { return 1 },
-	})
+	}, rng)
 	if !m.Valid(g) {
 		t.Fatal("invalid")
 	}
@@ -241,7 +241,7 @@ func TestChannelMatchK1EquivalentToPIM(t *testing.T) {
 	// sizes should be comparable (both maximal-ish on sparse graphs).
 	rng := rand.New(rand.NewSource(11))
 	g := RandomGraph(rng, 80, 80, 3)
-	m := ChannelMatch(g, 16, 1, rng, ChannelOptions{})
+	m := ChannelMatch(g, Options{Rounds: 16, K: 1}, rng)
 	if !m.Valid(g) {
 		t.Fatal("invalid")
 	}
@@ -258,9 +258,9 @@ func TestChannelMatchSRPTFirstRound(t *testing.T) {
 	remaining := []int64{500, 100}
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		m := ChannelMatch(g, 1, 1, rng, ChannelOptions{
+		m := ChannelMatch(g, Options{Rounds: 1, K: 1,
 			Remaining: func(s, r int) int64 { return remaining[s] },
-		})
+		}, rng)
 		if m.Channels[[2]int{1, 0}] != 1 {
 			t.Fatalf("seed %d: SRPT round did not pick the shorter flow", seed)
 		}
@@ -277,7 +277,7 @@ func TestChannelMatchBudgetProperty(t *testing.T) {
 		d := float64(dRaw%6) + 0.5
 		rng := rand.New(rand.NewSource(seed))
 		g := RandomGraph(rng, n, n, d)
-		m := ChannelMatch(g, rounds, k, rng, ChannelOptions{})
+		m := ChannelMatch(g, Options{Rounds: rounds, K: k}, rng)
 		return m.Valid(g)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -291,8 +291,8 @@ func TestChannelMatchUtilizationSparse(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	g := RandomGraph(rng, 144, 144, 4)
 	// With unlimited demand, k does not change effective capacity much.
-	m4 := ChannelMatch(g, 4, 4, rng, ChannelOptions{})
-	m1 := ChannelMatch(g, 4, 1, rand.New(rand.NewSource(21)), ChannelOptions{})
+	m4 := ChannelMatch(g, Options{Rounds: 4, K: 4}, rng)
+	m1 := ChannelMatch(g, Options{Rounds: 4, K: 1}, rand.New(rand.NewSource(21)))
 	if m4.EffectiveSize() < 0.85*m1.EffectiveSize() {
 		t.Fatalf("k=4 effective %v ≪ k=1 effective %v", m4.EffectiveSize(), m1.EffectiveSize())
 	}
@@ -301,12 +301,12 @@ func TestChannelMatchUtilizationSparse(t *testing.T) {
 	// matching size but each pair only fills 1/k of the phase). Model this
 	// by comparing matched *demand-limited* capacity: with demand 1 and
 	// k=4, hosts match up to 4 distinct peers, quadrupling admitted pairs.
-	d1k4 := ChannelMatch(g, 4, 4, rand.New(rand.NewSource(22)), ChannelOptions{
+	d1k4 := ChannelMatch(g, Options{Rounds: 4, K: 4,
 		Demand: func(s, r int) int { return 1 },
-	})
-	d1k1 := ChannelMatch(g, 4, 1, rand.New(rand.NewSource(22)), ChannelOptions{
+	}, rand.New(rand.NewSource(22)))
+	d1k1 := ChannelMatch(g, Options{Rounds: 4, K: 1,
 		Demand: func(s, r int) int { return 1 },
-	})
+	}, rand.New(rand.NewSource(22)))
 	if d1k4.TotalChannels() < 2*d1k1.TotalChannels() {
 		t.Fatalf("demand-1: k=4 matched %d pairs, k=1 matched %d — expected ≥2× gain",
 			d1k4.TotalChannels(), d1k1.TotalChannels())
@@ -322,7 +322,10 @@ func TestRoundsToMaximal(t *testing.T) {
 	for _, n := range []int{64, 256, 1024} {
 		for _, deg := range []float64{2, 8} {
 			g := RandomGraph(rng, n, n, deg)
-			rounds := RoundsToMaximal(g, rng)
+			rounds, err := RoundsToMaximal(g, rng)
+			if err != nil {
+				t.Fatalf("n=%d deg=%.0f: %v", n, deg, err)
+			}
 			logN := math.Ilogb(float64(n)) + 1
 			if rounds > 3*logN {
 				t.Errorf("n=%d deg=%.0f: %d rounds to maximal, > 3·log2(n)=%d", n, deg, rounds, 3*logN)
@@ -334,7 +337,7 @@ func TestRoundsToMaximal(t *testing.T) {
 	}
 	// Empty graph converges immediately.
 	empty, _ := NewGraph(3, 3, [][]int{{}, {}, {}})
-	if r := RoundsToMaximal(empty, rng); r != 0 {
-		t.Errorf("empty graph rounds = %d", r)
+	if r, err := RoundsToMaximal(empty, rng); err != nil || r != 0 {
+		t.Errorf("empty graph rounds = %d err = %v", r, err)
 	}
 }

@@ -1,0 +1,73 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Matcher computes a matching on a bipartite demand graph and reports
+// convergence and communication statistics. Implementations must be
+// deterministic given the graph and the RNG stream, and must accumulate
+// Stats without drawing from the RNG.
+type Matcher interface {
+	Match(g *Graph, rng *rand.Rand) (*Matching, Stats)
+}
+
+// Descriptor registers one matcher variant. New builds an instance for
+// validated Options; it is invoked once per Match-site configuration, so
+// construction may normalize options but must not touch global state.
+type Descriptor struct {
+	// Name is the registry key (e.g. "pim", "dcpim", "budget-pim").
+	Name string
+	// Doc is a one-line human description, shown by cmd/pimlab -list.
+	Doc string
+	// Budgeted reports whether the matcher honors Options.BudgetBits;
+	// the matchers sweep only varies budgets for budgeted matchers.
+	Budgeted bool
+	// New constructs a matcher for g-independent options. Zero-valued
+	// Options fields are resolved to matcher defaults before Validate,
+	// so New never sees K=0 or Rounds<0.
+	New func(o Options) (Matcher, error)
+}
+
+var registry = map[string]Descriptor{}
+
+// Register adds a matcher descriptor. It panics on duplicate names or
+// incomplete descriptors — registration happens in init functions, where
+// a bad descriptor is a programming error.
+func Register(d Descriptor) {
+	if d.Name == "" || d.Doc == "" || d.New == nil {
+		panic(fmt.Sprintf("matching: incomplete descriptor %+v", d))
+	}
+	if _, dup := registry[d.Name]; dup {
+		panic(fmt.Sprintf("matching: duplicate matcher %q", d.Name))
+	}
+	registry[d.Name] = d
+}
+
+// Lookup returns the descriptor for name.
+func Lookup(name string) (Descriptor, bool) {
+	d, ok := registry[name]
+	return d, ok
+}
+
+// MustLookup returns the descriptor for name, panicking with the list of
+// registered matchers if it is unknown.
+func MustLookup(name string) Descriptor {
+	d, ok := registry[name]
+	if !ok {
+		panic(fmt.Sprintf("matching: unknown matcher %q (registered: %v)", name, Names()))
+	}
+	return d
+}
+
+// Names returns all registered matcher names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

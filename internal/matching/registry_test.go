@@ -1,0 +1,221 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"pim", "dcpim", "maximal", "dcpim-k", "budget-pim", "online-bmatch"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("matcher %q not registered (have %v)", want, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndIncomplete(t *testing.T) {
+	mustPanic := func(name string, d Descriptor) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Register did not panic", name)
+			}
+		}()
+		Register(d)
+	}
+	ok := MustLookup("pim") // a complete descriptor to clone from
+	dup := ok
+	mustPanic("duplicate name", dup)
+	mustPanic("empty name", Descriptor{Doc: "d", New: ok.New})
+	mustPanic("empty doc", Descriptor{Name: "x-incomplete", New: ok.New})
+	mustPanic("nil constructor", Descriptor{Name: "x-incomplete", Doc: "d"})
+}
+
+func TestMustLookupUnknownPanicsWithNames(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustLookup did not panic on unknown name")
+		}
+		if msg, _ := r.(string); !strings.Contains(msg, "pim") {
+			t.Fatalf("panic message does not list registered matchers: %v", r)
+		}
+	}()
+	MustLookup("no-such-matcher")
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("no-such-matcher"); ok {
+		t.Fatal("Lookup found a matcher that was never registered")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	bad := []Options{
+		{Rounds: -1, K: 1},
+		{K: 0},
+		{K: -3},
+		{K: 1, BudgetBits: math.NaN()},
+		{K: 1, BudgetBits: -5},
+		{K: 1, BudgetBits: math.Inf(1)},
+		{K: 1, ReconfigCost: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+	}
+	good := []Options{
+		{K: 1},
+		{Rounds: 10, K: 4, BudgetBits: 1024, ReconfigCost: 2},
+	}
+	for i, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected %+v: %v", i, o, err)
+		}
+	}
+	// Registry constructors surface the same rejections as errors.
+	for _, name := range Names() {
+		if _, err := MustLookup(name).New(Options{Rounds: -1}); err == nil {
+			t.Errorf("%s: New accepted Rounds=-1", name)
+		}
+		if _, err := MustLookup(name).New(Options{BudgetBits: math.NaN()}); err == nil {
+			t.Errorf("%s: New accepted NaN budget", name)
+		}
+	}
+}
+
+func TestChannelMatchPanicsOnInvalidOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChannelMatch accepted K=0")
+		}
+	}()
+	ChannelMatch(DenseGraph(2, 2), Options{Rounds: 1, K: 0}, rand.New(rand.NewSource(1)))
+}
+
+// Adapters must replay the exact RNG streams of the direct entry points:
+// the registry is a re-expression, not a reimplementation.
+func TestAdaptersMatchDirectCalls(t *testing.T) {
+	g := RandomGraph(rand.New(rand.NewSource(4)), 96, 96, 3)
+
+	pim, err := MustLookup("pim").New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st := pim.Match(g, rand.New(rand.NewSource(7)))
+	want := ConvergedPIM(g, rand.New(rand.NewSource(7)))
+	if got.Size() != want.Size() {
+		t.Fatalf("pim adapter size %d != ConvergedPIM %d", got.Size(), want.Size())
+	}
+	for s, r := range want.ReceiverOf {
+		if got.ReceiverOf[s] != r {
+			t.Fatalf("pim adapter diverged from ConvergedPIM at sender %d", s)
+		}
+	}
+	if !st.Converged {
+		t.Error("pim adapter did not report convergence on a sparse graph")
+	}
+	if st.Msgs <= 0 || st.ControlBits != st.Msgs*ControlMsgBits {
+		t.Errorf("pim stats inconsistent: msgs=%d bits=%d", st.Msgs, st.ControlBits)
+	}
+
+	bounded, err := MustLookup("dcpim").New(Options{Rounds: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, bst := bounded.Match(g, rand.New(rand.NewSource(9)))
+	ref := PIM(g, 3, rand.New(rand.NewSource(9)))
+	if bm.Size() != ref.Size() {
+		t.Fatalf("dcpim adapter size %d != PIM(3) %d", bm.Size(), ref.Size())
+	}
+	if bst.Rounds > 3 {
+		t.Fatalf("dcpim ran %d rounds with budget 3", bst.Rounds)
+	}
+	if len(bst.RoundSizes) != bst.Rounds {
+		t.Fatalf("RoundSizes len %d != Rounds %d", len(bst.RoundSizes), bst.Rounds)
+	}
+
+	max, err := MustLookup("maximal").New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, mst := max.Match(g, rand.New(rand.NewSource(11)))
+	dref := MaximalMatch(g)
+	if mm.Size() != dref.Size() || mst.Msgs != 0 || !mst.Converged {
+		t.Fatalf("maximal adapter: size %d (want %d), msgs %d, converged %v",
+			mm.Size(), dref.Size(), mst.Msgs, mst.Converged)
+	}
+}
+
+func TestRoundsToMaximalCap(t *testing.T) {
+	// A graph with edges always converges, so force the error path with a
+	// cap of zero rounds.
+	g := DenseGraph(4, 4)
+	if _, err := roundsToMaximalCapped(g, rand.New(rand.NewSource(1)), 0); err == nil {
+		t.Fatal("cap 0 on a non-empty graph must error")
+	}
+	if r, err := RoundsToMaximal(g, rand.New(rand.NewSource(1))); err != nil || r < 1 {
+		t.Fatalf("RoundsToMaximal on K4,4: rounds=%d err=%v", r, err)
+	}
+	if MaxMaximalRounds < 1024 {
+		t.Fatalf("MaxMaximalRounds = %d implausibly small", MaxMaximalRounds)
+	}
+}
+
+func TestSparseRandomGraphDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := SparseRandomGraph(rng, 2000, 2000, 6)
+	if d := g.AvgDegree(); d < 5.5 || d > 6.5 {
+		t.Fatalf("sparse generator avg degree = %v, want ≈6", d)
+	}
+	// Edges must be sorted, in-range and duplicate-free per sender.
+	for s, rs := range g.Adj {
+		for i, r := range rs {
+			if r < 0 || r >= 2000 {
+				t.Fatalf("sender %d: receiver %d out of range", s, r)
+			}
+			if i > 0 && rs[i-1] >= r {
+				t.Fatalf("sender %d: adjacency not strictly increasing: %v", s, rs)
+			}
+		}
+	}
+	// p >= 1 degenerates to the dense graph.
+	if g := SparseRandomGraph(rng, 8, 8, 9); g.Edges() != 64 {
+		t.Fatalf("p>=1 should give the complete graph, got %d edges", g.Edges())
+	}
+	// Degree 0 gives no edges.
+	if g := SparseRandomGraph(rng, 8, 8, 0); g.Edges() != 0 {
+		t.Fatalf("degree 0 gave %d edges", g.Edges())
+	}
+}
+
+func TestChannelMatchingProject(t *testing.T) {
+	g := RandomGraph(rand.New(rand.NewSource(6)), 40, 40, 4)
+	cm := ChannelMatch(g, Options{Rounds: 8, K: 4}, rand.New(rand.NewSource(8)))
+	um := cm.Project(g)
+	if !um.Valid(g) {
+		t.Fatal("projected matching invalid")
+	}
+	// Every projected pair must hold at least one channel in the b-matching.
+	for s, r := range um.ReceiverOf {
+		if r >= 0 && cm.Channels[[2]int{s, r}] == 0 {
+			t.Fatalf("projection invented pair (%d,%d) with no channels", s, r)
+		}
+	}
+}

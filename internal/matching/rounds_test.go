@@ -44,12 +44,12 @@ func TestChannelMatchOnRound(t *testing.T) {
 	g := RandomGraph(rand.New(rand.NewSource(3)), 24, 24, 3)
 	var rounds []int
 	var counts []int
-	m := ChannelMatch(g, 8, 4, rand.New(rand.NewSource(5)), ChannelOptions{
+	m := ChannelMatch(g, Options{Rounds: 8, K: 4,
 		OnRound: func(round, matched int) {
 			rounds = append(rounds, round)
 			counts = append(counts, matched)
 		},
-	})
+	}, rand.New(rand.NewSource(5)))
 	if !m.Valid(g) {
 		t.Fatal("invalid b-matching")
 	}
@@ -69,7 +69,7 @@ func TestChannelMatchOnRound(t *testing.T) {
 	}
 
 	// The callback must not perturb the matching: same seed, no callback.
-	ref := ChannelMatch(g, 8, 4, rand.New(rand.NewSource(5)), ChannelOptions{})
+	ref := ChannelMatch(g, Options{Rounds: 8, K: 4}, rand.New(rand.NewSource(5)))
 	if ref.TotalChannels() != m.TotalChannels() {
 		t.Fatalf("OnRound changed the outcome: %d vs %d channels",
 			m.TotalChannels(), ref.TotalChannels())

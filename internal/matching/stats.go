@@ -1,0 +1,94 @@
+package matching
+
+import "math"
+
+// ControlMsgBits is the modeled wire cost of one control-plane message
+// (request, grant or accept): a compact 8-byte frame carrying sender id,
+// receiver id and a channel/flag field. All matchers charge every control
+// message this flat rate so budgets and control-overhead comparisons are
+// matcher-independent. dcPIM's real RTS/Grant packets are bigger (they
+// ride full headers), but the *relative* control economy between matchers
+// is what the lab measures, and a flat per-message rate keeps budget
+// accounting exact.
+const ControlMsgBits = 64
+
+// EpochPayloadBytes is the modeled data volume one matched pair transfers
+// during the epoch that follows a matching decision (one BDP-ish chunk,
+// mirroring dcPIM's epoch sizing). ControlBytesPerMatchedByte uses it to
+// turn message counts into an overhead ratio.
+const EpochPayloadBytes = 64 << 10
+
+// Stats reports how a matcher run behaved: how fast it converged, how
+// much control-plane communication it spent, and the per-round matching
+// trajectory. Matchers accumulate Stats without ever drawing from the
+// RNG, so an instrumented run and a bare run produce identical matchings
+// for the same seed.
+type Stats struct {
+	// Rounds is the number of executed (message-bearing) rounds. Rounds
+	// skipped by early convergence are not counted.
+	Rounds int
+	// Converged reports whether the matcher reached a fixed point (no
+	// further messages would change the matching) within its round
+	// budget. Single-shot matchers (maximal) are always converged.
+	Converged bool
+	// Msgs is the total number of control messages sent (requests +
+	// grants + accepts across all rounds).
+	Msgs int64
+	// ControlBits = Msgs × ControlMsgBits: total control-plane bits.
+	ControlBits int64
+	// RoundBits[i] is the control bits sent in executed round i. For
+	// budgeted matchers every entry is ≤ the per-round budget.
+	RoundBits []int64
+	// RoundSizes[i] is the cumulative matching size (or matched channel
+	// count for b-matchers) after executed round i. Monotone for
+	// matchers that never reconfigure; the online b-matcher's evictions
+	// can shrink it between epochs.
+	RoundSizes []int
+	// MatchedChannels and K are set by b-matchers (dcpim-k,
+	// online-bmatch): total matched channels and the per-node channel
+	// budget. Zero for unit matchers.
+	MatchedChannels int
+	K               int
+	// Reconfigs counts matching reconfigurations paid by the online
+	// dynamic b-matcher (edges evicted to admit new demand). Zero for
+	// one-shot matchers.
+	Reconfigs int
+}
+
+// note records one executed round: msgs control messages sent and the
+// cumulative matching size afterwards.
+func (st *Stats) note(msgs int64, size int) {
+	st.Rounds++
+	st.Msgs += msgs
+	st.ControlBits += msgs * ControlMsgBits
+	st.RoundBits = append(st.RoundBits, msgs*ControlMsgBits)
+	st.RoundSizes = append(st.RoundSizes, size)
+}
+
+// EffectiveSize returns the matching size normalized so unit matchings
+// and K-channel b-matchings are comparable: matched pairs for unit
+// matchers, matched channels ÷ K for b-matchers (each channel carries
+// 1/K of a link).
+func (st *Stats) EffectiveSize(m *Matching) float64 {
+	if st.K > 1 {
+		return float64(st.MatchedChannels) / float64(st.K)
+	}
+	return float64(m.Size())
+}
+
+// ControlBytesPerMatchedByte returns the control-plane overhead ratio:
+// total control bytes divided by the payload bytes the matched pairs move
+// in one epoch (EffectiveSize × EpochPayloadBytes). Returns 0 when
+// nothing matched and nothing was sent, and +Inf when control bits were
+// spent but nothing matched.
+func (st *Stats) ControlBytesPerMatchedByte(m *Matching) float64 {
+	ctl := float64(st.ControlBits) / 8
+	matched := st.EffectiveSize(m) * EpochPayloadBytes
+	if matched == 0 {
+		if ctl == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return ctl / matched
+}
