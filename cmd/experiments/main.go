@@ -44,6 +44,7 @@ func main() {
 		hosts      = flag.Int("hosts", 0, "topology size override (0 = paper size)")
 		parallel   = flag.Int("parallel", 0, "concurrent simulations in sweeps (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 		shards     = flag.Int("shards", 0, "split each fabric into this many barrier-synchronized shards (0/1 = serial); output is identical at any setting")
+		procs      = flag.Int("procs", 0, "pin the scale campaign's GOMAXPROCS axis to this value (0 = sweep 1 and min(8, NumCPU)); output is identical at any setting")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		metricsDir = flag.String("metrics", "", "write per-run telemetry (CSV time series + JSON report) into this directory")
@@ -126,7 +127,7 @@ func main() {
 
 	opts := experiments.Options{
 		Seed: *seed, Scale: *scale, Hosts: *hosts, Workers: *parallel,
-		Shards: *shards, MetricsDir: *metricsDir, Queue: qd, Matchers: *matchers,
+		Shards: *shards, Procs: *procs, MetricsDir: *metricsDir, Queue: qd, Matchers: *matchers,
 		// Simulated time is picoseconds; time.Duration is nanoseconds.
 		CheckpointEvery: sim.Duration(ckptEvery.Nanoseconds()) * 1000,
 		CheckpointDir:   *ckptDir,
@@ -161,6 +162,14 @@ func main() {
 			os.Exit(2)
 		}
 		todo = []experiments.Experiment{e}
+	}
+
+	// The effective pool is the flag value after the shard clamp
+	// (workers × shards ≤ GOMAXPROCS) — what actually bounds sweep
+	// concurrency, which the raw -parallel value no longer shows.
+	if n := opts.EffectiveWorkers(); *parallel != 0 || *shards > 1 {
+		fmt.Printf("(sweep pool: %d workers × %d shards on GOMAXPROCS %d)\n",
+			n, max(1, *shards), runtime.GOMAXPROCS(0))
 	}
 
 	for i, e := range todo {

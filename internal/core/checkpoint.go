@@ -99,7 +99,7 @@ func (r *receiver) captureState(enc *checkpoint.Encoder) {
 		enc.U32(uint32(len(f.tokened)))
 		for _, tr := range f.tokened {
 			enc.I64(int64(tr.seq))
-			enc.I64(tr.epoch)
+			enc.I64(int64(tr.epoch))
 		}
 		enc.U32(uint32(len(f.retx)))
 		for _, seq := range f.retx {

@@ -26,7 +26,7 @@ type recvFlow struct {
 
 	state        twoBits    // 2 bits per packet: seqUntokened/Tokened/Received (slab.go)
 	tokened      []tokenRef // FIFO of issued tokens (lazy cleanup)
-	retx         []int      // reverted seqs awaiting re-admission
+	retx         []int32    // reverted seqs awaiting re-admission
 	nextNew      int        // lowest never-tokened seq
 	senderIdx    int        // position in receiver.bySender[src] (swap-delete)
 	outstanding  int        // live tokens (sent, data not received)
@@ -39,9 +39,14 @@ type recvFlow struct {
 	done         bool
 }
 
+// tokenRef packs one issued token to 8 bytes — these sit in per-flow
+// FIFOs across every live flow, so width matters at 10^6–10^7 concurrent
+// flows. seq is a packet index (flows are < 2^31 packets by far); epoch
+// int32 holds ~10^9 matching epochs, i.e. years of simulated time at the
+// paper's epoch length.
 type tokenRef struct {
-	seq   int
-	epoch int64
+	seq   int32
+	epoch int32
 }
 
 func (f *recvFlow) remaining() int64 { return f.size - f.receivedByte }
@@ -58,7 +63,7 @@ func (f *recvFlow) demandBytes() int64 {
 // nextCandidate returns the lowest seq needing a token, or -1.
 func (f *recvFlow) nextCandidate() int {
 	for len(f.retx) > 0 {
-		if s := f.retx[0]; f.state.get(s) == seqUntokened {
+		if s := int(f.retx[0]); f.state.get(s) == seqUntokened {
 			return s
 		}
 		f.retx = f.retx[1:]
@@ -222,7 +227,7 @@ func (r *receiver) complete(f *recvFlow) {
 	f.done = true
 	opt := r.p.host.Topo().UnloadedFCT(f.src, r.p.id, f.size)
 	r.p.col.FlowDone(stats.FlowRecord{
-		ID: f.id, Src: f.src, Dst: r.p.id, Size: f.size,
+		ID: f.id, Src: int32(f.src), Dst: int32(r.p.id), Size: f.size,
 		Arrival: f.arrival, Finish: r.p.eng.Now(), Optimal: opt,
 	})
 	// Remember only the id — duplicates and finish retransmissions
@@ -253,13 +258,13 @@ func (r *receiver) onEpochStart(e int64) {
 		if f.done {
 			continue
 		}
-		for len(f.tokened) > 0 && f.tokened[0].epoch < e {
+		for len(f.tokened) > 0 && int64(f.tokened[0].epoch) < e {
 			tr := f.tokened[0]
 			f.tokened = f.tokened[1:]
-			if f.state.get(tr.seq) != seqTokened {
+			if f.state.get(int(tr.seq)) != seqTokened {
 				continue // already received
 			}
-			f.state.set(tr.seq, seqUntokened)
+			f.state.set(int(tr.seq), seqUntokened)
 			f.untokenedCnt++
 			f.outstanding--
 			r.p.ins.tokensReverted.Inc()
@@ -343,7 +348,7 @@ func (r *receiver) fireLoop(l *tokenLoop) {
 }
 
 func (r *receiver) issueToken(l *tokenLoop, f *recvFlow, seq int) {
-	if len(f.retx) > 0 && f.retx[0] == seq {
+	if len(f.retx) > 0 && int(f.retx[0]) == seq {
 		f.retx = f.retx[1:]
 	}
 	f.state.set(seq, seqTokened)
@@ -351,7 +356,7 @@ func (r *receiver) issueToken(l *tokenLoop, f *recvFlow, seq int) {
 	f.outstanding++
 	r.p.ins.tokensIssued.Inc()
 	r.p.ins.tokensOutstanding.Add(1)
-	f.tokened = append(f.tokened, tokenRef{seq: seq, epoch: l.epoch})
+	f.tokened = append(f.tokened, tokenRef{seq: int32(seq), epoch: int32(l.epoch)})
 
 	tok := packet.NewControl(packet.Token, r.p.id, f.src, f.id)
 	tok.Seq = seq

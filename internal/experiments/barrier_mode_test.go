@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"dcpim/internal/sim"
+)
+
+// TestBarrierModeByteIdentity pins the epoch-barrier swap end to end:
+// the hybrid spin-then-park barrier (the default) and the legacy
+// channel+WaitGroup barrier must produce bit-identical runs — digest,
+// flow records, counters, and the per-shard dispatched/skipped epoch
+// profile — at every shard count, clean and faulted, and both must still
+// reproduce the checked-in golden digests. The sim-level randomized
+// property (sim.TestGroupBarrierEquivalence) covers synthetic event
+// graphs; this covers the full protocol stack.
+func TestBarrierModeByteIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		faults bool
+		want   uint64
+	}{
+		{"clean", false, goldenDigestClean},
+		{"faulted", true, goldenDigestFaulted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, shards := range []int{1, 2, 4} {
+				ref := goldenSpec(t, DCPIM, tc.faults)
+				ref.Shards = shards
+				ref.Barrier = sim.BarrierChannel
+				refRes := Run(ref)
+				if refRes.Digest != tc.want {
+					t.Fatalf("channel shards=%d digest %#016x, want golden %#016x", shards, refRes.Digest, tc.want)
+				}
+				got := goldenSpec(t, DCPIM, tc.faults)
+				got.Shards = shards
+				got.Barrier = sim.BarrierHybrid
+				gotRes := Run(got)
+				if gotRes.Digest != refRes.Digest {
+					t.Errorf("hybrid shards=%d digest %#016x != channel %#016x", shards, gotRes.Digest, refRes.Digest)
+				}
+				if !reflect.DeepEqual(gotRes.Records, refRes.Records) {
+					t.Errorf("hybrid shards=%d flow records differ from channel barrier", shards)
+				}
+				if gotRes.Counters != refRes.Counters {
+					t.Errorf("hybrid shards=%d counters %+v != channel %+v", shards, gotRes.Counters, refRes.Counters)
+				}
+				if !reflect.DeepEqual(gotRes.ShardStats, refRes.ShardStats) {
+					t.Errorf("hybrid shards=%d shard stats %+v != channel %+v", shards, gotRes.ShardStats, refRes.ShardStats)
+				}
+			}
+		})
+	}
+}
+
+// TestBarrierMode64Shards runs the 1024-host campaign cell at the
+// widest cut the topology allows under both barriers: 64 single-pod
+// shards is where barrier overhead dominates, so any batching or
+// park/wake defect that only shows under heavy contention surfaces
+// here. Both runs must also match the committed 1024-host golden.
+func TestBarrierMode64Shards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 1024-host 64-shard runs")
+	}
+	ref := scale1024Spec()
+	ref.Shards = 64
+	ref.Barrier = sim.BarrierChannel
+	refRes := Run(ref)
+	if refRes.Digest != golden1024Digest {
+		t.Fatalf("channel digest %#016x, want golden %#016x", refRes.Digest, golden1024Digest)
+	}
+	got := scale1024Spec()
+	got.Shards = 64
+	got.Barrier = sim.BarrierHybrid
+	gotRes := Run(got)
+	if gotRes.Digest != golden1024Digest {
+		t.Errorf("hybrid digest %#016x, want golden %#016x", gotRes.Digest, golden1024Digest)
+	}
+	if !reflect.DeepEqual(gotRes.ShardStats, refRes.ShardStats) {
+		t.Errorf("hybrid shard stats differ from channel barrier")
+	}
+}

@@ -60,6 +60,25 @@ func SubstrateBenches() []Bench {
 			})
 		}
 	}
+	for _, q := range []sim.QueueDiscipline{sim.QueueHeap, sim.QueueLadder} {
+		q := q
+		benches = append(benches, Bench{
+			Name: fmt.Sprintf("EngineHoldDeep_%s_1M", q),
+			Fn:   func(b *testing.B) { benchEngineHoldDeep(b, q, 1_000_000) },
+		})
+	}
+	for _, mode := range []sim.BarrierMode{sim.BarrierChannel, sim.BarrierHybrid} {
+		for _, busy := range []struct {
+			name string
+			n    int
+		}{{"solo", 1}, {"all4", 4}} {
+			mode, busy := mode, busy
+			benches = append(benches, Bench{
+				Name: fmt.Sprintf("GroupEpoch_%s_%s", mode, busy.name),
+				Fn:   func(b *testing.B) { benchGroupEpoch(b, mode, busy.n) },
+			})
+		}
+	}
 	return benches
 }
 
@@ -231,6 +250,69 @@ func benchEngineHold(b *testing.B, q sim.QueueDiscipline, pending int) {
 		if !eng.Step() {
 			b.Fatal("hold population drained")
 		}
+	}
+}
+
+// benchEngineHoldDeep is the hold model at hyperscale population — 10⁶
+// live events — with a delay mix that adds a 1-in-64 far-future tail
+// (up to 80 ms) on top of the dcPIM-shaped mix. The population puts the
+// heap ~20 comparisons deep per op, and the far tail lands beyond the
+// ladder's spawn range, exercising its hierarchical upper rungs (the
+// tier that replaced the O(n) overflow re-bucketing); near-cursor pops
+// stay O(1). One op = one Step.
+func benchEngineHoldDeep(b *testing.B, q sim.QueueDiscipline, pending int) {
+	b.ReportAllocs()
+	eng := sim.NewEngineQueue(int64(pending), q)
+	rng := eng.Rand()
+	delay := func() sim.Duration {
+		switch {
+		case rng.Intn(64) == 0:
+			return sim.Duration(1 + rng.Int63n(int64(80*sim.Millisecond)))
+		case rng.Intn(16) == 0:
+			return sim.Duration(1 + rng.Int63n(int64(40*sim.Microsecond)))
+		default:
+			return sim.Duration(1 + rng.Int63n(int64(800*sim.Nanosecond)))
+		}
+	}
+	var hold func()
+	hold = func() { eng.After(delay(), hold) }
+	for i := 0; i < pending; i++ {
+		eng.After(delay(), hold)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eng.Step() {
+			b.Fatal("hold population drained")
+		}
+	}
+}
+
+// benchGroupEpoch measures raw epoch-barrier overhead: a 4-engine group
+// where `busy` engines each execute exactly one event per epoch (the
+// rest idle-skip). One op = one RunEpoch. busy=1 is the solo window the
+// hybrid barrier inlines on the coordinator (zero crossings); busy=4 is
+// a full crossing, the channel barrier's worst case of two wakeups per
+// worker per epoch.
+func benchGroupEpoch(b *testing.B, mode sim.BarrierMode, busy int) {
+	b.ReportAllocs()
+	engines := make([]*sim.Engine, 4)
+	for i := range engines {
+		engines[i] = sim.NewEngine(int64(i + 1))
+	}
+	g := sim.NewGroupMode(engines, mode)
+	defer g.Close()
+	const step = sim.Microsecond
+	for i := 0; i < busy; i++ {
+		eng := engines[i]
+		var tick func()
+		tick = func() { eng.After(step, tick) }
+		eng.After(step, tick)
+	}
+	b.ResetTimer()
+	until := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		until = until.Add(step)
+		g.RunEpoch(until)
 	}
 }
 

@@ -42,7 +42,7 @@ type MatcherRow struct {
 	Matcher         string  `json:"matcher"`
 	Graph           string  `json:"graph"` // "sparse" or "dense"
 	Ports           int     `json:"ports"`
-	Degree          float64 `json:"degree"` // realized average sender degree
+	Degree          float64 `json:"degree"`      // realized average sender degree
 	BudgetFrac      float64 `json:"budget_frac"` // 0 = unlimited
 	BudgetBits      int64   `json:"budget_bits"` // realized per-round budget (0 = unlimited)
 	Trial           int     `json:"trial"`

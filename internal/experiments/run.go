@@ -66,6 +66,10 @@ type Options struct {
 	// output, counters, digests and sampled metrics are byte-identical at
 	// any value; only wall-clock time changes. See DESIGN.md §11.
 	Shards int
+	// Procs pins the GOMAXPROCS axis of the scale campaign (0 = sweep
+	// {1, min(8, NumCPU)}). Execution order — and every digest — is
+	// independent of it; only wall-clock time changes. See DESIGN.md §16.
+	Procs int
 	// MetricsDir, when non-empty, enables the telemetry layer on
 	// instrumented experiments: each labeled run writes its sampled CSV
 	// series and JSON report under this directory.
@@ -100,19 +104,31 @@ func (o Options) scaled(d sim.Duration) sim.Duration {
 }
 
 // workers resolves the worker-pool size for RunMany. Each concurrent
-// simulation runs max(1, Shards) engine goroutines, so the pool is
-// divided by the shard count to keep total goroutines — workers × shards
-// — near GOMAXPROCS rather than multiplying past it.
+// simulation runs max(1, Shards) engine goroutines, so the pool is the
+// floor of GOMAXPROCS over the shard count — workers × shards never
+// exceeds GOMAXPROCS (the old ceiling division oversubscribed the
+// machine whenever shards didn't divide it evenly: 4 CPUs at 3 shards
+// gave 2 workers × 3 shards = 6 runnable engine goroutines). The floor
+// is clamped to one worker so sweeps always make progress even when a
+// single simulation is wider than the machine.
 func (o Options) workers() int {
 	w := o.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
 	if o.Shards > 1 {
-		w = (w + o.Shards - 1) / o.Shards
+		w /= o.Shards
+		if w < 1 {
+			w = 1
+		}
 	}
 	return w
 }
+
+// EffectiveWorkers reports the RunMany pool size the options resolve to —
+// what actually bounds sweep concurrency after the shard clamp — so run
+// reports can surface it instead of the raw -parallel flag.
+func (o Options) EffectiveWorkers() int { return o.workers() }
 
 // metrics returns a MetricsSpec labeled for one run, or nil when the
 // telemetry layer is disabled (no MetricsDir).
@@ -141,6 +157,7 @@ type RunSpec struct {
 	Seed     int64
 	Shards   int                 // fabric shard count (0 or 1 = serial)
 	Queue    sim.QueueDiscipline // engine event-queue discipline (QueueAuto = pick by density)
+	Barrier  sim.BarrierMode     // epoch-barrier implementation (zero value = hybrid; byte-identical either way)
 	BinWidth sim.Duration        // utilization series bin (0 = 10 µs)
 	DcPIM    *core.Config        // optional dcPIM parameter override
 	Fabric   *netsim.Config      // optional fabric override
@@ -289,7 +306,7 @@ func newRunState(spec RunSpec) *runState {
 	for i := range engines {
 		engines[i] = sim.NewEngineQueue(spec.Seed, q)
 	}
-	grp := sim.NewGroup(engines)
+	grp := sim.NewGroupMode(engines, spec.Barrier)
 	part, err := topo.MakePartition(spec.Topo, n)
 	if err != nil {
 		panic("experiments: " + err.Error())
@@ -476,7 +493,7 @@ func All() []Experiment {
 		{"fastpass", "§5 comparison: dcPIM vs Fastpass (centralized arbiter) short-flow latency", RunFastpass},
 		{"ablation", "dcPIM design ablations: FCT round on/off, token window sizing", RunAblation},
 		{"faults", "Fault resilience: FCT and completion vs fault intensity", RunFaults},
-		{"scale", "Hyperscale campaign: hosts × load × shards × queue discipline", RunScale},
+		{"scale", "Hyperscale campaign: hosts × load × shards × GOMAXPROCS × queue discipline", RunScale},
 		{"ckpt", "Checkpoint/restore: periodic snapshots, verified resume equivalence", RunCkpt},
 		{"matchers", "Matcher lab: registry-wide matcher-vs-matcher sweep (rounds, control bytes, size vs M*)", RunMatchers},
 	}

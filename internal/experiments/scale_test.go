@@ -81,3 +81,71 @@ func Test1024HostDigest(t *testing.T) {
 		}
 	}
 }
+
+// golden8192Digest locks the k=32 (8192-host) FatTree cell: WebSearch
+// all-to-all at load 0.3 over a 10 µs trace, seed 8 — the hyperscale
+// rung the multi-core campaign sweeps, on a horizon short enough for a
+// unit test. Regenerate like the other goldens: run with -v and copy the
+// measured digest, with the change explained by the commit.
+const golden8192Digest uint64 = 0xa5a45b638a5e4730
+
+// scale8192Spec mirrors the 8192-host campaign cell at test scale.
+func scale8192Spec() RunSpec {
+	tp := fatTreeFor(8192)
+	horizon := 10 * sim.Microsecond
+	tr := workload.AllToAllConfig{
+		Hosts: tp.NumHosts, HostRate: tp.HostRate, Load: 0.3,
+		Dist: workload.WebSearch(), Horizon: horizon, Seed: 1,
+	}.Generate()
+	return RunSpec{
+		Protocol: DCPIM, Topo: tp, Trace: tr,
+		Horizon: horizon + horizon/2, Seed: 8, Digest: true,
+	}
+}
+
+// Test8192HostDigest is the hyperscale-rung sibling of Test1024HostDigest:
+// the 8192-host FatTree must reproduce its committed digest serially and
+// at 8 shards, under both queue disciplines — structural routing, the
+// hybrid barrier and the ladder's upper rungs all in the hot path.
+func Test8192HostDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 8192-host runs")
+	}
+	for _, shards := range []int{1, 8} {
+		for _, q := range []sim.QueueDiscipline{sim.QueueHeap, sim.QueueLadder} {
+			spec := scale8192Spec()
+			spec.Shards = shards
+			spec.Queue = q
+			res := Run(spec)
+			if res.Digest != golden8192Digest {
+				t.Errorf("shards=%d queue=%s digest %#016x, want golden %#016x (see regeneration note)",
+					shards, q, res.Digest, golden8192Digest)
+			}
+		}
+	}
+}
+
+// TestWorkersClamp pins the RunMany pool division: the pool is the floor
+// of the worker budget over the shard count, clamped to one, so
+// workers × shards never exceeds the budget (the old ceiling division
+// oversubscribed whenever shards didn't divide it).
+func TestWorkersClamp(t *testing.T) {
+	for _, tc := range []struct {
+		workers, shards, want int
+	}{
+		{8, 1, 8},
+		{8, 2, 4},
+		{4, 3, 1},  // ceiling division used to give 2 → 6 goroutines on 4 CPUs
+		{8, 3, 2},  // floor: 2×3 = 6 ≤ 8; ceiling gave 3×3 = 9
+		{2, 8, 1},  // one simulation wider than the budget still runs
+		{1, 64, 1}, // never zero
+	} {
+		o := Options{Workers: tc.workers, Shards: tc.shards}
+		if got := o.workers(); got != tc.want {
+			t.Errorf("workers=%d shards=%d: pool %d, want %d", tc.workers, tc.shards, got, tc.want)
+		}
+		if got := o.EffectiveWorkers(); got != tc.want {
+			t.Errorf("EffectiveWorkers(workers=%d shards=%d) = %d, want %d", tc.workers, tc.shards, got, tc.want)
+		}
+	}
+}

@@ -37,17 +37,26 @@ func oversubFor(hosts int) *topo.Topology {
 	return c.Build()
 }
 
-// fatTreeFor builds the paper's 1024-host FatTree, or k=4 (16 hosts) for
-// quick runs.
+// fatTreeFor builds the FatTree tier covering the requested host count:
+// k=4 (16 hosts) for quick runs, k=8 (128), the paper's k=16 (1024, also
+// the 0-default), then the hyperscale rungs — k=32 (8192) and the 3-tier
+// k=48-class tree (27648). The mapping is monotone in hosts and is part
+// of the checkpoint contract: ckptSpecFromMeta rebuilds specs from a
+// snapshot's host count through this function.
 func fatTreeFor(hosts int) *topo.Topology {
-	if hosts != 0 && hosts <= 16 {
+	switch {
+	case hosts != 0 && hosts <= 16:
 		return topo.SmallFatTree().Build()
-	}
-	if hosts != 0 && hosts <= 128 {
+	case hosts != 0 && hosts <= 128:
 		c := topo.DefaultFatTree()
 		c.K = 8
 		c.Name = "fattree-128"
 		return c.Build()
+	case hosts == 0 || hosts <= 1024:
+		return topo.DefaultFatTree().Build()
+	case hosts <= 8192:
+		return topo.HyperscaleFatTree().Build()
+	default:
+		return topo.MegaFatTree().Build()
 	}
-	return topo.DefaultFatTree().Build()
 }

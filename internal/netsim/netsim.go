@@ -401,15 +401,16 @@ func (d *swDev) forward(p *packet.Packet, in int) {
 		d.fab.dropped(p)
 		return
 	}
-	cands := d.spec.Routes[p.Dst]
-	var pi int32
-	switch {
-	case len(cands) == 1:
-		pi = cands[0]
-	case d.fab.cfg.Spray:
-		pi = cands[d.rng.Intn(len(cands))]
-	default:
-		pi = cands[ecmpHash(p.Flow, p.Src, p.Dst)%uint64(len(cands))]
+	pi, cands := d.spec.Route(p.Dst)
+	if pi < 0 {
+		// Multipath: spray draws from the device RNG, ECMP hashes flow
+		// identity; a resolved down port consumes no randomness in either
+		// mode (matching the old single-candidate table rows).
+		if d.fab.cfg.Spray {
+			pi = cands[d.rng.Intn(len(cands))]
+		} else {
+			pi = cands[ecmpHash(p.Flow, p.Src, p.Dst)%uint64(len(cands))]
+		}
 	}
 	port := d.ports[pi]
 	port.enqueueAt(p, d, in)

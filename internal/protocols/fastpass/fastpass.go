@@ -281,7 +281,7 @@ func (p *Proto) onData(pkt *packet.Packet) {
 	if payload > 0 && f.Done {
 		opt := p.host.Topo().UnloadedFCT(f.Src, p.id, f.Size)
 		p.col.FlowDone(stats.FlowRecord{
-			ID: f.ID, Src: f.Src, Dst: p.id, Size: f.Size,
+			ID: f.ID, Src: int32(f.Src), Dst: int32(p.id), Size: f.Size,
 			Arrival: f.Arrival, Finish: p.eng.Now(), Optimal: opt,
 		})
 		fin := packet.NewControl(packet.FinishReceiver, p.id, f.Src, f.ID)

@@ -69,7 +69,6 @@ func (e *Engine) CaptureState() EngineState {
 				add(s.buckets[b])
 			}
 		}
-		add(l.over)
 	}
 	sort.Slice(st.Pending, func(i, j int) bool {
 		a, b := st.Pending[i], st.Pending[j]
@@ -127,9 +126,10 @@ func (e *Engine) RestoreState(st EngineState, rebind RebindFunc) error {
 
 	// Build scratch queues. Records arrive sorted by (At, Seq); a sorted
 	// array is already a valid min-heap, so band assignment is the only
-	// work for the heap discipline. Under the ladder every event goes to
-	// the overflow tier of a fresh ladder — drains re-bucket it lazily,
-	// and pop order is a function of (at, seq) alone, not placement.
+	// work for the heap discipline. Under the ladder every event is pushed
+	// into a fresh ladder, growing upper rungs as needed — drains refine
+	// them lazily, and pop order is a function of (at, seq) alone, not
+	// placement.
 	var q, qa []*event
 	var lad *ladder
 	if e.lad != nil {

@@ -1,11 +1,13 @@
 package sim
 
+import "math"
+
 // ladder is the calendar-queue ("ladder queue") discipline for the
 // engine's band-0 events: an alternative to the inlined 4-ary heap that
 // trades the heap's O(log n) sift cost for O(1) bucket appends, which
 // wins once the pending-event population is large (1024-host and bigger
-// fabrics hold 10^4–10^6 concurrent timers; see DESIGN.md §13 for the
-// measured crossover).
+// fabrics hold 10^4–10^7 concurrent timers; see DESIGN.md §13/§16 for
+// the measured crossover).
 //
 // Structure, front to back in time:
 //
@@ -15,42 +17,49 @@ package sim
 //     the heap discipline uses: the two disciplines are execution-order
 //     identical by construction (TestQueueDisciplineEquivalence drives
 //     randomized schedules through both and asserts it).
-//   - segs: ordered segments, each an equal-width array of UNSORTED
+//   - segs: ordered rungs, each an equal-width array of UNSORTED
 //     buckets covering a contiguous span of future time. Events are
 //     appended to their bucket in O(1). When the active heap drains, the
 //     next non-empty bucket is heapified wholesale into it. A bucket
-//     holding too many events for one heapify spawns a finer segment in
-//     front (the "ladder rung"), re-bucketing its contents — that keeps
-//     per-transfer work bounded without ever sorting more than one
-//     bucket at a time.
-//   - over: an unsorted far-future tier past the last segment's horizon.
-//     When everything nearer is exhausted it is carved into a fresh
-//     segment whose bucket width adapts to the observed spread
-//     (span/ladBuckets) — the self-sizing that makes the calendar robust
-//     to event densities it was not tuned for.
+//     holding too many events for one heapify spawns a finer rung in
+//     front, re-bucketing its contents — that keeps per-transfer work
+//     bounded without ever sorting more than one bucket at a time.
+//
+// Far-future events — past the last rung's horizon — grow new upper
+// rungs at the tail, each ladBuckets× coarser than the one before it,
+// until a rung spans the timestamp. Rung count is therefore bounded by
+// log_ladBuckets of the representable time span (≤ 8 rungs on 63-bit
+// picoseconds), push's linear rung scan stays trivially cheap, and the
+// old single overflow slice — whose drain re-bucketed the entire
+// far-future population at once, a measured hot spot at 10^6–10^7
+// pending events — is gone: upper rungs refine one bucket at a time
+// through the same spawn step every other rung uses.
 //
 // Event location is tracked through event.bkt: nil while in the active
 // heap (event.idx is the heap slot), otherwise a pointer to the unsorted
-// bucket or overflow slice holding it (event.idx is the slice slot), so
-// cancellation is O(1) swap-delete everywhere except the small drain
-// front.
+// bucket holding it (event.idx is the slice slot), so cancellation is
+// O(1) swap-delete everywhere except the small drain front.
 //
 // Scheduling in the past is impossible (Engine.push checks), so every
 // insert lands at or after the drain front and no bucket behind cur can
 // ever be targeted.
 const (
-	ladBuckets  = 256 // buckets per segment
-	ladSpawnMin = 512 // bucket size that spawns a finer segment instead of heapifying
-	ladOverMax  = 256 // overflow size above which draining re-buckets instead of heapifying
+	ladBuckets  = 256 // buckets per rung
+	ladSpawnMin = 512 // bucket size that spawns a finer rung instead of heapifying
 )
+
+// ladTimeMax is the saturation point for rung spans: a rung whose
+// nominal span would overflow the time axis clamps its limit here, and
+// its last bucket absorbs the remainder.
+const ladTimeMax = Time(math.MaxInt64)
 
 type ladSeg struct {
 	start Time     // left edge of bucket 0
 	width Duration // bucket width, ≥ 1 ps
 	cur   int      // next bucket to drain
-	// limit is the segment's exclusive span end. It can be tighter than
+	// limit is the rung's exclusive span end. It can be tighter than
 	// start + width*ladBuckets (width rounds up), and drain boundaries
-	// clamp to it: a spawned segment must never claim time past its
+	// clamp to it: a spawned rung must never claim time past its
 	// parent bucket's right edge, or its last bucket would interleave
 	// out of order with the parent's next one.
 	limit   Time
@@ -59,17 +68,14 @@ type ladSeg struct {
 
 type ladder struct {
 	active    []*event // min-heap by eventLess; the drain front
-	activeEnd Time     // exclusive: every event at ≥ activeEnd lives in segs/over
+	activeEnd Time     // exclusive: every event at ≥ activeEnd lives in segs
 	segs      []*ladSeg
-	over      []*event // unsorted, at ≥ every segment's span
-	overMin   Time     // valid while len(over) > 0 (loose lower bound after removals)
-	overMax   Time     // loose upper bound after removals
-	n         int      // total events across all tiers
+	n         int // total events across all tiers
 }
 
 // push files t into the tier its timestamp selects. O(1) except for
 // active-heap inserts, which are O(log |active|) on a deliberately small
-// heap.
+// heap, and the rare rung growth (bounded by the geometric rung count).
 func (l *ladder) push(t *event) {
 	l.n++
 	at := t.at
@@ -84,31 +90,86 @@ func (l *ladder) push(t *event) {
 		if at >= s.limit {
 			continue
 		}
-		b := 0
-		if at > s.start {
-			b = int(int64(at-s.start) / int64(s.width))
-		}
-		// Events in the gap before a segment, or at the drained frontier,
-		// clamp into the current bucket: they still sort after everything
-		// in active (at ≥ activeEnd) and before every later bucket.
-		if b < s.cur {
-			b = s.cur
-		}
-		bp := &s.buckets[b]
-		t.bkt = bp
-		t.idx = int32(len(*bp))
-		*bp = append(*bp, t)
+		l.file(s, t)
 		return
 	}
-	if len(l.over) == 0 || at < l.overMin {
-		l.overMin = at
+	l.file(l.grow(at), t)
+}
+
+// file appends t to its bucket inside rung s (which must span t.at).
+func (l *ladder) file(s *ladSeg, t *event) {
+	at := t.at
+	b := 0
+	if at > s.start {
+		b = int(int64(at-s.start) / int64(s.width))
 	}
-	if len(l.over) == 0 || at > l.overMax {
-		l.overMax = at
+	// A saturated top rung's width rounds down; its last bucket absorbs
+	// the span remainder.
+	if b >= ladBuckets {
+		b = ladBuckets - 1
 	}
-	t.bkt = &l.over
-	t.idx = int32(len(l.over))
-	l.over = append(l.over, t)
+	// Events in the gap before a rung, or at the drained frontier,
+	// clamp into the current bucket: they still sort after everything
+	// in active (at ≥ activeEnd) and before every later bucket.
+	if b < s.cur {
+		b = s.cur
+	}
+	bp := &s.buckets[b]
+	t.bkt = bp
+	t.idx = int32(len(*bp))
+	*bp = append(*bp, t)
+}
+
+// grow appends upper rungs — each ladBuckets× coarser than the last —
+// until one spans at, and returns it. The first rung over an empty tail
+// sizes its bucket width to the observed horizon (the self-sizing that
+// makes the calendar robust to densities it was not tuned for); each
+// additional rung widens geometrically, so covering any timestamp takes
+// O(log_ladBuckets(span)) rungs total over the ladder's lifetime.
+func (l *ladder) grow(at Time) *ladSeg {
+	base := l.activeEnd
+	var width Duration
+	if k := len(l.segs); k > 0 {
+		last := l.segs[k-1]
+		base = last.limit
+		width = mulSat(last.width, ladBuckets)
+	} else {
+		width = Duration(int64(at-base)/ladBuckets) + 1
+	}
+	for {
+		if width < 1 {
+			width = 1
+		}
+		limit := spanEnd(base, width)
+		s := &ladSeg{start: base, width: width, limit: limit}
+		l.segs = append(l.segs, s)
+		if at < limit || limit == ladTimeMax {
+			return s
+		}
+		base = limit
+		width = mulSat(width, ladBuckets)
+	}
+}
+
+// spanEnd returns base + width*ladBuckets saturated to ladTimeMax. When
+// it saturates it also shrinks the caller's effective span arithmetic:
+// the rung's width is recomputed so start + width*ladBuckets never
+// overflows (the last bucket absorbs the remainder via file's clamp).
+func spanEnd(base Time, width Duration) Time {
+	span := int64(ladTimeMax - base)
+	if int64(width) > span/ladBuckets {
+		return ladTimeMax
+	}
+	return base.Add(width * ladBuckets)
+}
+
+// mulSat multiplies a bucket width by the rung fan-out, saturating
+// instead of overflowing the time axis.
+func mulSat(w Duration, k int64) Duration {
+	if int64(w) > math.MaxInt64/k {
+		return Duration(math.MaxInt64 / ladBuckets)
+	}
+	return w * Duration(k)
 }
 
 // min returns the earliest pending event without removing it, advancing
@@ -131,9 +192,9 @@ func (l *ladder) pop() *event {
 	return popRoot(&l.active)
 }
 
-// advance refills the empty active heap from the next non-empty bucket
-// (or the overflow tier), spawning finer segments for over-dense buckets
-// on the way. Reports false when the whole ladder is empty.
+// advance refills the empty active heap from the next non-empty bucket,
+// spawning finer rungs for over-dense buckets on the way. Reports false
+// when the whole ladder is empty.
 func (l *ladder) advance() bool {
 	for len(l.segs) > 0 {
 		s := l.segs[0]
@@ -146,7 +207,7 @@ func (l *ladder) advance() bool {
 		}
 		b := s.buckets[s.cur]
 		bucketEnd := s.start.Add(Duration(int64(s.width) * int64(s.cur+1)))
-		if bucketEnd > s.limit {
+		if bucketEnd > s.limit || bucketEnd < s.start {
 			bucketEnd = s.limit
 		}
 		s.buckets[s.cur] = nil
@@ -158,18 +219,7 @@ func (l *ladder) advance() bool {
 		l.fill(b, bucketEnd)
 		return true
 	}
-	switch {
-	case len(l.over) == 0:
-		return false
-	case len(l.over) <= ladOverMax:
-		b := l.over
-		l.over = nil
-		l.fill(b, l.overMax+1)
-		return true
-	default:
-		l.rebucket()
-		return l.advance()
-	}
+	return false
 }
 
 // fill moves one drained bucket into the active heap (4-ary heapify,
@@ -186,9 +236,9 @@ func (l *ladder) fill(b []*event, end Time) {
 	l.activeEnd = end
 }
 
-// spawn re-buckets one over-dense bucket into a finer segment prepended
+// spawn re-buckets one over-dense bucket into a finer rung prepended
 // to the ladder — the rung-spawning step that bounds per-drain work. The
-// new segment starts at the bucket's earliest event (not its nominal left
+// new rung starts at the bucket's earliest event (not its nominal left
 // edge: gap-clamped strays can sit before it, and not the drain boundary:
 // a cluster far past it would keep the span — and so the child's bucket
 // width — from ever tightening, spawning forever). Anchoring at the true
@@ -218,30 +268,8 @@ func (l *ladder) spawn(b []*event, end Time) {
 	l.segs = append([]*ladSeg{s}, l.segs...)
 }
 
-// rebucket carves the overflow tier into a fresh segment sized to its
-// observed span, resetting the overflow.
-func (l *ladder) rebucket() {
-	b := l.over
-	l.over = nil
-	start := l.overMin
-	span := int64(l.overMax-l.overMin) + 1
-	width := (span + ladBuckets - 1) / ladBuckets
-	if width < 1 {
-		width = 1
-	}
-	s := &ladSeg{start: start, width: Duration(width), limit: l.overMax + 1}
-	for _, ev := range b {
-		i := int(int64(ev.at-start) / width)
-		bp := &s.buckets[i]
-		ev.bkt = bp
-		ev.idx = int32(len(*bp))
-		*bp = append(*bp, ev)
-	}
-	l.segs = append(l.segs, s)
-}
-
 // remove deletes a queued event (cancellation): heap-remove from the
-// drain front, O(1) swap-delete from a bucket or the overflow.
+// drain front, O(1) swap-delete from a bucket.
 func (l *ladder) remove(t *event) {
 	l.n--
 	if t.bkt == nil {

@@ -91,16 +91,19 @@ func TestQueueDisciplineEquivalence(t *testing.T) {
 			default:
 				// Delay mix spanning every ladder tier: 0 forces same-instant
 				// FIFO ties, small lands in active/near buckets, huge lands in
-				// the overflow, and the modulo clustering packs bucket bursts.
-				switch rng.Intn(4) {
+				// the upper rungs (the largest tier crosses several geometric
+				// rung spans), and the modulo clustering packs bucket bursts.
+				switch rng.Intn(5) {
 				case 0:
 					o.delay = 0
 				case 1:
 					o.delay = Duration(rng.Intn(64))
 				case 2:
 					o.delay = Duration(rng.Intn(100_000))
-				default:
+				case 3:
 					o.delay = Duration(1_000_000 + rng.Intn(10_000_000))
+				default:
+					o.delay = Duration(100_000_000 + rng.Int63n(100_000_000_000))
 				}
 			}
 		}
@@ -125,18 +128,40 @@ func TestQueueDisciplineEquivalence(t *testing.T) {
 	}
 }
 
-// TestLadderFarFutureOverflow exercises the overflow tier's two drain
-// paths: a small overflow dumps straight into the active heap, a large
-// one re-buckets into a fresh segment.
-func TestLadderFarFutureOverflow(t *testing.T) {
-	for _, count := range []int{ladOverMax / 2, ladOverMax * 8} {
+// TestLadderUpperRungs exercises the far-future tier that replaced the
+// overflow slice: pushes spanning many decades of future time must grow
+// geometrically coarser upper rungs (never one linear slice), and the
+// drain must return everything in (at, seq) order.
+func TestLadderUpperRungs(t *testing.T) {
+	for _, count := range []int{128, 4096} {
 		e := NewEngineQueue(1, QueueLadder)
 		rng := rand.New(rand.NewSource(int64(count)))
-		var want []Time
 		for i := 0; i < count; i++ {
-			at := Time(1_000_000 + rng.Intn(50_000_000))
-			want = append(want, at)
+			// Exponentially distributed horizons: every push decade from
+			// ~1 µs to ~100 s of simulated time, so coverage needs several
+			// ×ladBuckets rung spans.
+			at := Time(1_000_000) << rng.Intn(24)
+			at += Time(rng.Intn(1_000_000))
 			e.Schedule(at, func() {})
+		}
+		lad := e.lad
+		if lad == nil {
+			t.Fatal("ladder discipline not active")
+		}
+		if len(lad.segs) < 2 {
+			t.Fatalf("count %d: want multiple upper rungs, got %d", count, len(lad.segs))
+		}
+		// Rung spans must tile the future contiguously and widen toward
+		// the tail (the geometric growth that bounds the rung count).
+		for i := 1; i < len(lad.segs); i++ {
+			prev, s := lad.segs[i-1], lad.segs[i]
+			if s.start != prev.limit {
+				t.Fatalf("count %d: rung %d starts at %d, previous limit %d", count, i, s.start, prev.limit)
+			}
+			if s.width < prev.width {
+				t.Fatalf("count %d: rung %d width %d narrower than rung %d width %d",
+					count, i, s.width, i-1, prev.width)
+			}
 		}
 		var got []Time
 		for e.Step() {
@@ -149,6 +174,133 @@ func TestLadderFarFutureOverflow(t *testing.T) {
 			if got[i] < got[i-1] {
 				t.Fatalf("count %d: out of order at %d: %d after %d", count, i, got[i], got[i-1])
 			}
+		}
+	}
+}
+
+// TestLadderUpperRungSpawn packs one upper-rung bucket densely enough
+// that draining it must spawn a finer child rung (not heapify it whole),
+// and checks order plus FIFO ties survive, like TestLadderSpawn does for
+// the near tier.
+func TestLadderUpperRungSpawn(t *testing.T) {
+	e := NewEngineQueue(1, QueueLadder)
+	rng := rand.New(rand.NewSource(11))
+	// A spacer beyond everything keeps the dense cluster inside one coarse
+	// bucket of a wide upper rung.
+	e.Schedule(1_000_000_000_000, func() {})
+	n := ladSpawnMin * 3
+	type stamp struct {
+		at  Time
+		tag int
+	}
+	var got []stamp
+	for i := 0; i < n; i++ {
+		tag := i
+		at := Time(600_000_000_000 + rng.Intn(2_000_000))
+		e.Schedule(at, func() { got = append(got, stamp{e.Now(), tag}) })
+	}
+	e.RunAll()
+	if len(got) != n {
+		t.Fatalf("ran %d of %d events", len(got), n)
+	}
+	byAt := map[Time]int{}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	for _, s := range got {
+		if prev, ok := byAt[s.at]; ok && s.tag < prev {
+			t.Fatalf("FIFO tie-break violated at t=%d: tag %d after %d", s.at, s.tag, prev)
+		}
+		byAt[s.at] = s.tag
+	}
+}
+
+// TestLadderUpperRungCancel cancels timers parked across several upper
+// rungs (plus the near tiers) and verifies the survivors run in order
+// with the right total — the O(1) swap-delete must work in grown rungs
+// exactly as in spawned ones.
+func TestLadderUpperRungCancel(t *testing.T) {
+	e := NewEngineQueue(1, QueueLadder)
+	rng := rand.New(rand.NewSource(13))
+	var timers []Timer
+	total := 4000
+	for i := 0; i < total; i++ {
+		at := Time(1_000) << rng.Intn(30)
+		tm := e.Schedule(at+Time(rng.Intn(1000)), func() {})
+		if i%2 == 0 {
+			timers = append(timers, tm)
+		}
+	}
+	if e.lad == nil || len(e.lad.segs) < 2 {
+		t.Fatalf("schedule did not populate multiple rungs")
+	}
+	canceled := 0
+	for _, tm := range timers {
+		if tm.Active() {
+			tm.Cancel()
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no cancellations exercised")
+	}
+	ran := 0
+	last := Time(-1)
+	for e.Step() {
+		if e.Now() < last {
+			t.Fatalf("out of order after cancellations: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+		ran++
+	}
+	if ran+canceled != total {
+		t.Fatalf("events ran+cancelled = %d, want %d", ran+canceled, total)
+	}
+}
+
+// TestLadderUpperRungCheckpoint round-trips an engine whose ladder holds
+// events across multiple upper rungs through CaptureState/RestoreState:
+// the restored engine must execute the identical schedule.
+func TestLadderUpperRungCheckpoint(t *testing.T) {
+	src := NewEngineQueue(5, QueueLadder)
+	rng := rand.New(rand.NewSource(17))
+	n := 3000
+	for i := 0; i < n; i++ {
+		at := Time(1_000) << rng.Intn(28)
+		src.Schedule(at+Time(rng.Intn(4096)), func() {})
+	}
+	// Advance the drain front so the capture sees active, near-rung, and
+	// upper-rung events at once.
+	for i := 0; i < 200; i++ {
+		src.Step()
+	}
+	if src.lad == nil || len(src.lad.segs) < 2 {
+		t.Fatal("capture point does not span multiple rungs")
+	}
+	st := src.CaptureState()
+
+	var wantOrder, gotOrder []Time
+	for src.Step() {
+		wantOrder = append(wantOrder, src.Now())
+	}
+	dst := NewEngineQueue(5, QueueLadder)
+	err := dst.RestoreState(st, func(rec EventRecord) (func(), bool) {
+		return func() {}, true
+	})
+	if err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	for dst.Step() {
+		gotOrder = append(gotOrder, dst.Now())
+	}
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("restored engine ran %d events, source ran %d", len(gotOrder), len(wantOrder))
+	}
+	for i := range wantOrder {
+		if wantOrder[i] != gotOrder[i] {
+			t.Fatalf("execution diverges at %d: src %d, restored %d", i, wantOrder[i], gotOrder[i])
 		}
 	}
 }

@@ -24,7 +24,7 @@ func (c *Collector) CaptureState(enc *checkpoint.Encoder) {
 		h := uint64(checkpoint.FoldInit)
 		for _, r := range s.records {
 			h = checkpoint.Fold(h, r.ID)
-			h = checkpoint.Fold(h, uint64(r.Src)<<32|uint64(uint32(r.Dst)))
+			h = checkpoint.Fold(h, uint64(uint32(r.Src))<<32|uint64(uint32(r.Dst)))
 			h = checkpoint.Fold(h, uint64(r.Size))
 			h = checkpoint.Fold(h, uint64(r.Arrival))
 			h = checkpoint.Fold(h, uint64(r.Finish))

@@ -21,8 +21,8 @@ func WriteRecordsCSV(w io.Writer, records []FlowRecord) error {
 	for _, r := range records {
 		rec := []string{
 			strconv.FormatUint(r.ID, 10),
-			strconv.Itoa(r.Src),
-			strconv.Itoa(r.Dst),
+			strconv.Itoa(int(r.Src)),
+			strconv.Itoa(int(r.Dst)),
 			strconv.FormatInt(r.Size, 10),
 			fmt.Sprintf("%.3f", r.Arrival.Microseconds()),
 			fmt.Sprintf("%.3f", r.Finish.Microseconds()),

@@ -39,6 +39,24 @@ func SmallFatTree() FatTreeConfig {
 	return c
 }
 
+// FatTreeK returns the paper-parameterized fat-tree at an arbitrary even
+// k (k³/4 hosts), named fattree-<hosts>.
+func FatTreeK(k int) FatTreeConfig {
+	c := DefaultFatTree()
+	c.K = k
+	c.Name = fmt.Sprintf("fattree-%d", k*k*k/4)
+	return c
+}
+
+// HyperscaleFatTree returns the k=32 (8192-host) three-tier fat-tree —
+// the first rung past the paper's 1024-host evaluation scale.
+func HyperscaleFatTree() FatTreeConfig { return FatTreeK(32) }
+
+// MegaFatTree returns the k=48-class (27648-host) three-tier fat-tree.
+// Structural routing (Switch.Rule) is what makes this size affordable:
+// explicit per-switch tables at k=48 would cost gigabytes.
+func MegaFatTree() FatTreeConfig { return FatTreeK(48) }
+
 // Build constructs the fat-tree graph and routing tables.
 func (c FatTreeConfig) Build() *Topology {
 	k := c.K
@@ -126,45 +144,40 @@ func (c FatTreeConfig) Build() *Topology {
 		t.Switches[sw.ID] = sw
 	}
 
-	// Routing tables.
-	hostPod := func(h int) int { return h / (half * half) }
-	hostEdge := func(h int) int { return h / half } // global edge index == edge switch id
-	upEdge := make([]int32, half)
-	upAgg := make([]int32, half)
+	// Routing, as structural rules (O(1) per switch — see RouteRule).
+	// These reproduce the explicit tables exactly: an edge switch serves
+	// its half consecutive hosts on ports [0,half) (one host per port)
+	// and sends everything else to its half uplinks; an agg switch
+	// serves its pod's half² hosts, half per edge; a core switch reaches
+	// every host downward, half² per pod port.
+	upPorts := make([]int32, half)
 	for i := 0; i < half; i++ {
-		upEdge[i] = int32(half + i)
-		upAgg[i] = int32(half + i)
+		upPorts[i] = int32(half + i)
 	}
 	for pod := 0; pod < k; pod++ {
 		for i := 0; i < half; i++ {
 			sw := t.Switches[edgeID(pod, i)]
-			sw.Routes = make([][]int32, numHosts)
-			for dst := 0; dst < numHosts; dst++ {
-				if hostEdge(dst) == sw.ID {
-					sw.Routes[dst] = []int32{int32(dst % half)}
-				} else {
-					sw.Routes[dst] = upEdge
-				}
+			sw.Rule = &RouteRule{
+				DownBase:  int32(sw.ID * half), // global edge index == switch id
+				DownCount: int32(half),
+				DownDiv:   1,
+				Up:        upPorts,
 			}
 		}
 		for j := 0; j < half; j++ {
 			sw := t.Switches[aggID(pod, j)]
-			sw.Routes = make([][]int32, numHosts)
-			for dst := 0; dst < numHosts; dst++ {
-				if hostPod(dst) == pod {
-					// Down to the dst's edge: its index within the pod.
-					sw.Routes[dst] = []int32{int32(hostEdge(dst) - pod*half)}
-				} else {
-					sw.Routes[dst] = upAgg
-				}
+			sw.Rule = &RouteRule{
+				DownBase:  int32(pod * half * half),
+				DownCount: int32(half * half),
+				DownDiv:   int32(half),
+				Up:        upPorts,
 			}
 		}
 	}
 	for ci := 0; ci < numCore; ci++ {
-		sw := t.Switches[coreID(ci)]
-		sw.Routes = make([][]int32, numHosts)
-		for dst := 0; dst < numHosts; dst++ {
-			sw.Routes[dst] = []int32{int32(hostPod(dst))}
+		t.Switches[coreID(ci)].Rule = &RouteRule{
+			DownCount: int32(numHosts),
+			DownDiv:   int32(half * half),
 		}
 	}
 	return t

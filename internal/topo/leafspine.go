@@ -127,27 +127,26 @@ func (c LeafSpineConfig) Build() *Topology {
 		t.Switches = append(t.Switches, sw)
 	}
 
-	// Routing tables.
+	// Routing, as structural rules (O(1) per switch — see RouteRule): a
+	// leaf serves its own rack on ports [0,HostsPerRack) and sprays
+	// everything else across its spine uplinks; a spine reaches every
+	// host downward, HostsPerRack per leaf port.
 	uplinks := make([]int32, c.Spines)
 	for s := range uplinks {
 		uplinks[s] = int32(c.HostsPerRack + s)
 	}
 	for l := 0; l < c.Racks; l++ {
-		sw := t.Switches[l]
-		sw.Routes = make([][]int32, n)
-		for dst := 0; dst < n; dst++ {
-			if dst/c.HostsPerRack == l {
-				sw.Routes[dst] = []int32{int32(dst % c.HostsPerRack)}
-			} else {
-				sw.Routes[dst] = uplinks
-			}
+		t.Switches[l].Rule = &RouteRule{
+			DownBase:  int32(l * c.HostsPerRack),
+			DownCount: int32(c.HostsPerRack),
+			DownDiv:   1,
+			Up:        uplinks,
 		}
 	}
 	for s := 0; s < c.Spines; s++ {
-		sw := t.Switches[c.Racks+s]
-		sw.Routes = make([][]int32, n)
-		for dst := 0; dst < n; dst++ {
-			sw.Routes[dst] = []int32{int32(dst / c.HostsPerRack)}
+		t.Switches[c.Racks+s].Rule = &RouteRule{
+			DownCount: int32(n),
+			DownDiv:   int32(c.HostsPerRack),
 		}
 	}
 	return t

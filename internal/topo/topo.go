@@ -33,13 +33,51 @@ type Port struct {
 	Boundary bool
 }
 
-// Switch is a node in the fabric with a set of ports and a routing table.
-// Routes[dst] lists the candidate output ports toward host dst; multiple
-// candidates mean the fabric may spray or ECMP-hash across them.
+// Switch is a node in the fabric with a set of ports and a route. Regular
+// topologies (fat-tree, leaf-spine) describe routing structurally through
+// Rule — O(1) memory per switch instead of an O(hosts) table, which is
+// what makes 10k-host fabrics affordable (a k=48 fat-tree's explicit
+// tables alone would cost ~2 GB). Hand-built or irregular topologies may
+// instead populate Routes[dst] with candidate output ports toward host
+// dst; multiple candidates mean the fabric may spray or ECMP-hash across
+// them. Exactly one of Rule and Routes should be set; consumers go
+// through Route.
 type Switch struct {
 	ID     int
 	Ports  []Port
+	Rule   *RouteRule
 	Routes [][]int32
+}
+
+// RouteRule is the closed-form routing of one switch in a regular
+// multi-rooted tree: a contiguous range of hosts is reached downward,
+// each down port serving DownDiv consecutive hosts; every other host is
+// reached through the Up candidates (spray/ECMP). It reproduces exactly
+// the tables the builders used to materialize — same candidate sets in
+// the same order, so ECMP hashing and spraying draw identically.
+type RouteRule struct {
+	DownBase  int32   // first host id reached via down ports
+	DownCount int32   // number of hosts in the down range
+	DownDiv   int32   // consecutive hosts per down port, ≥ 1
+	DownPort  int32   // port index of the first down port
+	Up        []int32 // uplink candidates for hosts outside the range
+}
+
+// Route returns the output toward dst: either a single resolved port
+// (second result nil) or the multipath candidate set to spray/hash
+// across. No allocation on either path.
+func (s *Switch) Route(dst int) (int32, []int32) {
+	if r := s.Rule; r != nil {
+		if d := int32(dst) - r.DownBase; d >= 0 && d < r.DownCount {
+			return r.DownPort + d/r.DownDiv, nil
+		}
+		return -1, r.Up
+	}
+	c := s.Routes[dst]
+	if len(c) == 1 {
+		return c[0], nil
+	}
+	return -1, c
 }
 
 // Topology is an immutable description of a datacenter network.
@@ -67,19 +105,8 @@ func (t *Topology) Validate() error {
 		return fmt.Errorf("topology %s: no hosts", t.Name)
 	}
 	for _, sw := range t.Switches {
-		if len(sw.Routes) != t.NumHosts {
-			return fmt.Errorf("switch %d: routing table covers %d hosts, want %d",
-				sw.ID, len(sw.Routes), t.NumHosts)
-		}
-		for dst, cands := range sw.Routes {
-			if len(cands) == 0 {
-				return fmt.Errorf("switch %d: no route to host %d", sw.ID, dst)
-			}
-			for _, pi := range cands {
-				if int(pi) >= len(sw.Ports) {
-					return fmt.Errorf("switch %d: route to %d uses bad port %d", sw.ID, dst, pi)
-				}
-			}
+		if err := t.validateRoutes(sw); err != nil {
+			return err
 		}
 		for pi, p := range sw.Ports {
 			if p.ToHost {
@@ -107,6 +134,56 @@ func (t *Topology) Validate() error {
 	return nil
 }
 
+// validateRoutes checks one switch's routing: a structural rule is
+// checked in O(ports) (range arithmetic plus full-coverage), an explicit
+// table in O(hosts × candidates).
+func (t *Topology) validateRoutes(sw *Switch) error {
+	if r := sw.Rule; r != nil {
+		if sw.Routes != nil {
+			return fmt.Errorf("switch %d: both Rule and Routes set", sw.ID)
+		}
+		if r.DownDiv < 1 {
+			return fmt.Errorf("switch %d: rule DownDiv %d < 1", sw.ID, r.DownDiv)
+		}
+		if r.DownCount < 0 || int(r.DownBase) < 0 || int(r.DownBase)+int(r.DownCount) > t.NumHosts {
+			return fmt.Errorf("switch %d: rule down range [%d,%d) outside hosts [0,%d)",
+				sw.ID, r.DownBase, int(r.DownBase)+int(r.DownCount), t.NumHosts)
+		}
+		if r.DownCount > 0 {
+			lastPort := r.DownPort + (r.DownCount-1)/r.DownDiv
+			if r.DownPort < 0 || int(lastPort) >= len(sw.Ports) {
+				return fmt.Errorf("switch %d: rule down ports [%d,%d] outside ports [0,%d)",
+					sw.ID, r.DownPort, lastPort, len(sw.Ports))
+			}
+		}
+		if int(r.DownCount) < t.NumHosts && len(r.Up) == 0 {
+			return fmt.Errorf("switch %d: rule covers %d of %d hosts with no uplinks",
+				sw.ID, r.DownCount, t.NumHosts)
+		}
+		for _, pi := range r.Up {
+			if pi < 0 || int(pi) >= len(sw.Ports) {
+				return fmt.Errorf("switch %d: rule uplink uses bad port %d", sw.ID, pi)
+			}
+		}
+		return nil
+	}
+	if len(sw.Routes) != t.NumHosts {
+		return fmt.Errorf("switch %d: routing table covers %d hosts, want %d",
+			sw.ID, len(sw.Routes), t.NumHosts)
+	}
+	for dst, cands := range sw.Routes {
+		if len(cands) == 0 {
+			return fmt.Errorf("switch %d: no route to host %d", sw.ID, dst)
+		}
+		for _, pi := range cands {
+			if int(pi) >= len(sw.Ports) {
+				return fmt.Errorf("switch %d: route to %d uses bad port %d", sw.ID, dst, pi)
+			}
+		}
+	}
+	return nil
+}
+
 // Path returns a representative host-to-host path as the sequence of
 // (rate, delay) links traversed, always taking the first routing candidate.
 // In the regular topologies built here all equal-cost paths have identical
@@ -121,7 +198,10 @@ func (t *Topology) Path(src, dst int) []Port {
 		if hops > 16 {
 			panic("topo: routing loop")
 		}
-		pi := sw.Routes[dst][0]
+		pi, cands := sw.Route(dst)
+		if pi < 0 {
+			pi = cands[0]
+		}
 		p := sw.Ports[pi]
 		path = append(path, p)
 		if p.ToHost {

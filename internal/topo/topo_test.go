@@ -115,17 +115,127 @@ func TestSmallFatTree(t *testing.T) {
 	}
 }
 
-// Property: every switch in a fat-tree can reach every host, and sprayed
-// candidates all make progress (no candidate port points back to a host
-// unless it is the destination).
+// routeCandidates returns every output port Route offers toward dst.
+func routeCandidates(sw *Switch, dst int) []int32 {
+	pi, cands := sw.Route(dst)
+	if pi >= 0 {
+		return []int32{pi}
+	}
+	return cands
+}
+
+// reaches reports whether every candidate path from sw leads to dst
+// within the hop budget (exhaustive multipath walk).
+func reaches(tp *Topology, sw *Switch, dst, budget int) bool {
+	if budget < 0 {
+		return false
+	}
+	for _, pi := range routeCandidates(sw, dst) {
+		p := sw.Ports[pi]
+		if p.ToHost {
+			if p.Peer != dst {
+				return false
+			}
+			continue
+		}
+		if !reaches(tp, tp.Switches[p.Peer], dst, budget-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: every switch in a fat-tree can reach every host over EVERY
+// routing candidate (all sprayed/ECMP paths make progress and terminate
+// at the destination), with the structural rules standing in for the
+// explicit tables they replaced.
 func TestFatTreeRoutesProperty(t *testing.T) {
 	tp := SmallFatTree().Build()
 	for _, sw := range tp.Switches {
 		for dst := 0; dst < tp.NumHosts; dst++ {
-			for _, pi := range sw.Routes[dst] {
-				p := sw.Ports[pi]
-				if p.ToHost && p.Peer != dst {
-					t.Fatalf("switch %d route to %d exits to wrong host %d", sw.ID, dst, p.Peer)
+			if !reaches(tp, sw, dst, tp.MaxPathSwitches()) {
+				t.Fatalf("switch %d cannot reach host %d over all candidates", sw.ID, dst)
+			}
+		}
+	}
+}
+
+// The structural rules must reproduce the explicit tables exactly: same
+// single down port, same uplink candidate set in the same order. The
+// test re-materializes the k=4 fat-tree tables from first principles.
+func TestFatTreeRuleMatchesTable(t *testing.T) {
+	tp := SmallFatTree().Build()
+	k := 4
+	half := k / 2
+	numEdge := k * half
+	numAgg := k * half
+	hostPod := func(h int) int { return h / (half * half) }
+	hostEdge := func(h int) int { return h / half }
+	var up []int32
+	for i := 0; i < half; i++ {
+		up = append(up, int32(half+i))
+	}
+	for _, sw := range tp.Switches {
+		for dst := 0; dst < tp.NumHosts; dst++ {
+			var want []int32
+			switch {
+			case sw.ID < numEdge: // edge
+				if hostEdge(dst) == sw.ID {
+					want = []int32{int32(dst % half)}
+				} else {
+					want = up
+				}
+			case sw.ID < numEdge+numAgg: // agg
+				pod := (sw.ID - numEdge) / half
+				if hostPod(dst) == pod {
+					want = []int32{int32(hostEdge(dst) - pod*half)}
+				} else {
+					want = up
+				}
+			default: // core
+				want = []int32{int32(hostPod(dst))}
+			}
+			got := routeCandidates(sw, dst)
+			if len(got) != len(want) {
+				t.Fatalf("switch %d dst %d: %v candidates, want %v", sw.ID, dst, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("switch %d dst %d: candidates %v, want %v", sw.ID, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The hyperscale rungs: k=32 (8192 hosts) and the k=48 class (27648
+// hosts) must build, validate, and route in reasonable time and memory —
+// the point of structural routing.
+func TestHyperscaleFatTrees(t *testing.T) {
+	for _, tc := range []struct {
+		cfg             FatTreeConfig
+		hosts, switches int
+	}{
+		{HyperscaleFatTree(), 8192, 32*16 + 32*16 + 256},
+		{MegaFatTree(), 27648, 48*24 + 48*24 + 576},
+	} {
+		tp := tc.cfg.Build()
+		if err := tp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tp.NumHosts != tc.hosts || tp.NumSwitches() != tc.switches {
+			t.Fatalf("%s: hosts=%d switches=%d, want %d/%d",
+				tp.Name, tp.NumHosts, tp.NumSwitches(), tc.hosts, tc.switches)
+		}
+		// Cross-pod path: 6 links through edge/agg/core/agg/edge.
+		if p := tp.Path(0, tp.NumHosts-1); len(p) != 6 {
+			t.Fatalf("%s: cross-pod path = %d links, want 6", tp.Name, len(p))
+		}
+		// Spot-check routing correctness from a few vantage switches.
+		for _, swID := range []int{0, tp.NumSwitches() / 2, tp.NumSwitches() - 1} {
+			for _, dst := range []int{0, 1, tp.NumHosts / 2, tp.NumHosts - 1} {
+				if !reaches(tp, tp.Switches[swID], dst, tp.MaxPathSwitches()) {
+					t.Fatalf("%s: switch %d cannot reach host %d", tp.Name, swID, dst)
 				}
 			}
 		}
