@@ -1,15 +1,22 @@
-// Command dcpimlint runs the repo's determinism and ownership analyzers
-// (internal/analysis, DESIGN.md §12) over the given package patterns and
-// exits nonzero on any unsuppressed finding, so CI can gate on it:
+// Command dcpimlint runs the repo's determinism, ownership, checkpoint,
+// and hot-path analyzers (internal/analysis, DESIGN.md §12, §17) over the
+// given package patterns and exits nonzero on any unsuppressed finding,
+// so CI can gate on it:
 //
 //	go run ./cmd/dcpimlint ./...
 //
 // Findings are silenced inline with `//lint:ignore <analyzer> <reason>`
-// (or `//lint:deterministic <reason>` for maprange); the reason is
-// mandatory.
+// (or the analyzer-specific forms //lint:deterministic, //ckpt:skip,
+// //lint:coldpath); the reason is always mandatory. `-fix` prints, for
+// each finding, the exact directive that would accept it — a dry run:
+// nothing is edited. `-json` emits machine-readable findings for CI
+// artifacts, and `-factcache <dir>` reuses per-package facts across runs
+// (entries invalidate on any change to the package, its module-internal
+// dependencies, or the analyzer set).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +28,9 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings and run stats as JSON on stdout")
+	fix := flag.Bool("fix", false, "dry run: print each finding with the directive that would accept it")
+	factCache := flag.String("factcache", "", "directory for the on-disk fact cache (empty disables caching)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: dcpimlint [flags] [packages]\n")
 		flag.PrintDefaults()
@@ -56,15 +66,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcpimlint: %v\n", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.RunDir(wd, analyzers, patterns...)
+	res, err := analysis.RunModule(wd, analyzers, analysis.Options{CacheDir: *factCache}, patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcpimlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+
+	switch {
+	case *jsonOut:
+		out := struct {
+			Findings []analysis.Diagnostic `json:"findings"`
+			Stats    analysis.Stats        `json:"stats"`
+		}{Findings: res.Diags, Stats: res.Stats}
+		if out.Findings == nil {
+			out.Findings = []analysis.Diagnostic{} // emit [], not null
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "dcpimlint: %v\n", err)
+			os.Exit(2)
+		}
+	case *fix:
+		for _, d := range res.Diags {
+			fmt.Println(d)
+			if d.Suggest != "" {
+				fmt.Printf("\taccept with: %s\n", d.Suggest)
+			}
+		}
+		if n := len(res.Diags); n > 0 {
+			fmt.Printf("%d finding(s); directives above are suggestions — review each reason before pasting\n", n)
+		}
+	default:
+		for _, d := range res.Diags {
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
+	if *factCache != "" && !*jsonOut {
+		fmt.Fprintf(os.Stderr, "dcpimlint: %d package(s) analyzed, %d from fact cache\n",
+			res.Stats.Analyzed, res.Stats.Cached)
+	}
+	if len(res.Diags) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,291 @@
+package analysis
+
+// facts.go implements the cross-package fact mechanism (DESIGN.md §17):
+// a package's analysis can export typed facts about its objects (or about
+// the package as a whole), and analyses of downstream packages — or a
+// module-wide Finish pass — import them. The design follows
+// golang.org/x/tools/go/analysis facts, adapted to this module's zero-dep
+// loader:
+//
+//   - Facts are keyed by STRINGS, not types.Object identity. The loader
+//     type-checks each package against compiler export data, so the same
+//     dependency object has a different identity in every importing
+//     package; a stable textual key ("pkg#Name", "pkg#T.Method",
+//     "pkg#T#field") makes facts identity-free, serializable, and
+//     cacheable on disk between runs.
+//   - Packages are analyzed in dependency order (load.go topo-sorts), so
+//     by the time a package runs, every fact its module-internal imports
+//     exported is present — the same guarantee x/tools drivers give.
+//   - Analyzers that need a view wider than the import DAG (e.g. "was
+//     this field EVER accessed atomically, anywhere?") declare a Finish
+//     hook, which runs once after every package and can enumerate all
+//     facts. x/tools has no equivalent; our runner owns the whole module,
+//     so it can.
+//
+// Facts must be JSON-serializable pointers to structs and are treated as
+// immutable once exported: importing copies the value, but deep state
+// (slices, maps) is shared — do not mutate an imported fact.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a datum exported by the analysis of one package for the
+// analyses of other packages (or the Finish pass). Implementations must
+// be pointers to JSON-serializable structs; AFact is a marker.
+type Fact interface{ AFact() }
+
+// Pos is a serializable source position. Facts carry Pos instead of
+// token.Pos because fact consumers (Finish hooks, cached runs) may not
+// have the exporting package's FileSet — or any FileSet at all.
+type Pos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// MakePos converts a resolved token.Position.
+func MakePos(p token.Position) Pos {
+	return Pos{File: p.Filename, Line: p.Line, Col: p.Column}
+}
+
+// Position converts back to a token.Position (offset unknown).
+func (p Pos) Position() token.Position {
+	return token.Position{Filename: p.File, Line: p.Line, Column: p.Col}
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// StructKey returns the fact key of a named type: "pkgpath#Name".
+// Returns "" for universe types (error) and other unkeyable types.
+func StructKey(named *types.Named) string {
+	obj := named.Origin().Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "#" + obj.Name()
+}
+
+// FieldKey returns the fact key of one field of a named struct type:
+// "pkgpath#Type#field". The "#" separator cannot occur in identifiers or
+// import paths, so keys never collide; the second "#" distinguishes
+// fields from methods ("pkgpath#Type.method").
+func FieldKey(named *types.Named, field string) string {
+	sk := StructKey(named)
+	if sk == "" {
+		return ""
+	}
+	return sk + "#" + field
+}
+
+// prettyKey renders an object key for diagnostics: "pkg#T#f" → "pkg.T.f".
+func prettyKey(key string) string {
+	return strings.ReplaceAll(key, "#", ".")
+}
+
+// keyIndex lazily maps types.Objects to their fact keys, one index per
+// *types.Package so source-checked and export-data instances of the same
+// package each resolve (to identical keys).
+type keyIndex map[*types.Package]map[types.Object]string
+
+func (idx keyIndex) keyOf(obj types.Object) (string, bool) {
+	if obj == nil {
+		return "", false
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		obj = o.Origin()
+	case *types.Var:
+		obj = o.Origin()
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	m, ok := idx[pkg]
+	if !ok {
+		m = buildKeyIndex(pkg)
+		idx[pkg] = m
+	}
+	k, ok := m[obj]
+	return k, ok
+}
+
+// buildKeyIndex walks a package scope and keys every package-level
+// object, every method of a package-level named type, and every field of
+// a package-level named struct type. Function-local types are not keyed:
+// facts about them cannot be meaningful outside their package.
+func buildKeyIndex(pkg *types.Package) map[types.Object]string {
+	m := make(map[types.Object]string)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		m[obj] = pkg.Path() + "#" + name
+		tn, ok := obj.(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			meth := named.Method(i)
+			m[meth] = pkg.Path() + "#" + name + "." + meth.Name()
+		}
+		if st, ok := named.Underlying().(*types.Struct); ok {
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				m[f] = pkg.Path() + "#" + name + "#" + f.Name()
+			}
+		}
+	}
+	return m
+}
+
+// factKey identifies one fact: which analyzer exported it, about which
+// object (or package: keys without "#"), of which fact type.
+type factKey struct {
+	analyzer string
+	object   string
+	typ      string
+}
+
+// storedFact is the serialized form, for the on-disk fact cache.
+type storedFact struct {
+	Analyzer string          `json:"analyzer"`
+	Object   string          `json:"object"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// factStore holds every fact exported during one run, plus the registry
+// of concrete fact types (from Analyzer.FactTypes) used to decode cached
+// facts back into their Go types.
+type factStore struct {
+	types map[string]reflect.Type // fact type name → struct type
+	m     map[factKey]Fact
+	byPkg map[string][]factKey // exporting package → keys, for the cache
+}
+
+func newFactStore(analyzers []*Analyzer) (*factStore, error) {
+	s := &factStore{
+		types: make(map[string]reflect.Type),
+		m:     make(map[factKey]Fact),
+		byPkg: make(map[string][]factKey),
+	}
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if t == nil || t.Kind() != reflect.Pointer || t.Elem().Kind() != reflect.Struct {
+				return nil, fmt.Errorf("analyzer %s: fact type %T must be a pointer to a struct", a.Name, f)
+			}
+			name := t.Elem().Name()
+			if prev, ok := s.types[name]; ok && prev != t.Elem() {
+				return nil, fmt.Errorf("fact type name %q registered twice with different types", name)
+			}
+			s.types[name] = t.Elem()
+		}
+	}
+	return s, nil
+}
+
+func factTypeName(f Fact) string { return reflect.TypeOf(f).Elem().Name() }
+
+// put records a fact. Re-exporting the same (analyzer, object, type)
+// overwrites: marker facts from several packages coexist naturally, and
+// data facts follow the convention that only one package (the declaring
+// one) exports them.
+func (s *factStore) put(analyzer, exportingPkg, object string, f Fact) {
+	k := factKey{analyzer, object, factTypeName(f)}
+	if _, dup := s.m[k]; !dup {
+		s.byPkg[exportingPkg] = append(s.byPkg[exportingPkg], k)
+	}
+	s.m[k] = f
+}
+
+// get copies the fact for (analyzer, object, type-of-into) into into and
+// reports whether one was found.
+func (s *factStore) get(analyzer, object string, into Fact) bool {
+	f, ok := s.m[factKey{analyzer, object, factTypeName(into)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(into).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// A KeyedFact pairs a fact with the key of the object (or package) it
+// describes.
+type KeyedFact struct {
+	Object string
+	Fact   Fact
+}
+
+// all returns every fact of example's dynamic type exported under
+// analyzer, sorted by object key for deterministic iteration. objectOnly
+// selects object facts (keys containing "#") vs package facts.
+func (s *factStore) all(analyzer string, example Fact, objectOnly bool) []KeyedFact {
+	typ := factTypeName(example)
+	var out []KeyedFact
+	for k, f := range s.m {
+		if k.analyzer != analyzer || k.typ != typ {
+			continue
+		}
+		if strings.Contains(k.object, "#") != objectOnly {
+			continue
+		}
+		out = append(out, KeyedFact{Object: k.object, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Object < out[j].Object })
+	return out
+}
+
+// encodePkg serializes every fact exported by one package, for its cache
+// entry. Deterministic: sorted by (analyzer, object, type).
+func (s *factStore) encodePkg(pkg string) ([]storedFact, error) {
+	keys := append([]factKey(nil), s.byPkg[pkg]...)
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		if a.object != b.object {
+			return a.object < b.object
+		}
+		return a.typ < b.typ
+	})
+	out := make([]storedFact, 0, len(keys))
+	for _, k := range keys {
+		data, err := json.Marshal(s.m[k])
+		if err != nil {
+			return nil, fmt.Errorf("marshaling fact %v: %w", k, err)
+		}
+		out = append(out, storedFact{Analyzer: k.analyzer, Object: k.object, Type: k.typ, Data: data})
+	}
+	return out, nil
+}
+
+// installStored decodes a cache entry's facts into the store, attributed
+// to pkg. An unregistered fact type means the cache predates the current
+// analyzer set; the caller treats that as a miss.
+func (s *factStore) installStored(pkg string, recs []storedFact) error {
+	for _, rec := range recs {
+		t, ok := s.types[rec.Type]
+		if !ok {
+			return fmt.Errorf("cached fact type %q is not registered", rec.Type)
+		}
+		f := reflect.New(t).Interface().(Fact)
+		if err := json.Unmarshal(rec.Data, f); err != nil {
+			return fmt.Errorf("decoding cached fact %s/%s: %w", rec.Analyzer, rec.Object, err)
+		}
+		s.put(rec.Analyzer, pkg, rec.Object, f)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testMarkFact is a minimal fact for the mechanism tests.
+type testMarkFact struct {
+	Tag string `json:"tag"`
+}
+
+func (*testMarkFact) AFact() {}
+
+// factProbe exports a testMarkFact on every package-level function named
+// Marked (plus a package fact on every package), and reports a diagnostic
+// at every call to a function carrying the fact and in every package one
+// of whose imports carries the package fact. Running it over a two-package
+// module pins the whole export → topo-order → import chain.
+var factProbe = &Analyzer{
+	Name:      "factprobe",
+	Doc:       "test-only: round-trips facts across packages",
+	FactTypes: []Fact{(*testMarkFact)(nil)},
+	Run: func(pass *Pass) error {
+		pass.ExportPackageFact(&testMarkFact{Tag: "pkg:" + pass.Pkg.Path()})
+		if fn, ok := pass.Pkg.Scope().Lookup("Marked").(*types.Func); ok {
+			if !pass.ExportObjectFact(fn, &testMarkFact{Tag: "obj:" + pass.Pkg.Path()}) {
+				return nil
+			}
+		}
+		for _, imp := range pass.Pkg.Imports() {
+			var pf testMarkFact
+			if pass.ImportPackageFact(imp.Path(), &pf) {
+				pass.Reportf(pass.Files[0].Pos(), "import carries package fact %s", pf.Tag)
+			}
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObject(pass.TypesInfo, call.Fun)
+				if fn == nil {
+					return true
+				}
+				var mf testMarkFact
+				if pass.ImportObjectFact(fn, &mf) {
+					pass.Reportf(call.Pos(), "call to marked function (%s)", mf.Tag)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+	Finish: func(fp *FinishPass) error {
+		for _, kf := range fp.AllObjectFacts((*testMarkFact)(nil)) {
+			var mf testMarkFact
+			if !fp.ObjectFact(kf.Object, &mf) {
+				return nil
+			}
+			fp.Report(Diagnostic{
+				Message:  "finish sees fact on " + kf.Object,
+				Position: Pos{File: "finish", Line: 1, Col: 1}.Position(),
+			})
+		}
+		return nil
+	},
+}
+
+// writeModule materializes a module in a temp dir; files maps
+// module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func factModule(t *testing.T) string {
+	return writeModule(t, map[string]string{
+		"go.mod": "module factmod\n\ngo 1.21\n",
+		"a/a.go": "package a\n\n// Marked carries the probe's object fact.\nfunc Marked() int { return 1 }\n",
+		"b/b.go": "package b\n\nimport \"factmod/a\"\n\n// Use calls across the package boundary.\nfunc Use() int { return a.Marked() }\n",
+	})
+}
+
+func hasDiag(diags []Diagnostic, substr string) bool {
+	for _, d := range diags {
+		if strings.Contains(d.Message, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFactFlowAcrossPackages pins the mechanism end to end: package a
+// exports an object fact and a package fact; package b — type-checked
+// against a's export data, so with different object identities — imports
+// both; the Finish pass enumerates them.
+func TestFactFlowAcrossPackages(t *testing.T) {
+	dir := factModule(t)
+	diags, err := RunDir(dir, []*Analyzer{factProbe}, "./b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"call to marked function (obj:factmod/a)",
+		"import carries package fact pkg:factmod/a",
+		"finish sees fact on factmod/a#Marked",
+	} {
+		if !hasDiag(diags, want) {
+			t.Errorf("missing diagnostic %q in %v", want, diags)
+		}
+	}
+}
+
+// TestFactCache pins the on-disk cache: a second identical run serves
+// every package from disk with identical diagnostics; editing only the
+// dependent re-analyzes just it — with the dependency's facts installed
+// from the cache, which the cross-package diagnostic proves — and editing
+// the dependency invalidates (via the chained fingerprint) its dependents
+// too.
+func TestFactCache(t *testing.T) {
+	dir := factModule(t)
+	cache := filepath.Join(t.TempDir(), "factcache")
+	opts := Options{CacheDir: cache}
+	probe := []*Analyzer{factProbe}
+
+	run := func(label string, wantAnalyzed, wantCached int) *Result {
+		t.Helper()
+		res, err := RunModule(dir, probe, opts, "./b")
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if res.Stats.Analyzed != wantAnalyzed || res.Stats.Cached != wantCached {
+			t.Fatalf("%s: stats = %+v, want analyzed=%d cached=%d",
+				label, res.Stats, wantAnalyzed, wantCached)
+		}
+		if !hasDiag(res.Diags, "call to marked function (obj:factmod/a)") {
+			t.Fatalf("%s: cross-package diagnostic missing: %v", label, res.Diags)
+		}
+		return res
+	}
+
+	cold := run("cold run", 2, 0)
+	warm := run("warm run", 0, 2)
+	if len(cold.Diags) != len(warm.Diags) {
+		t.Fatalf("cached diagnostics diverge: cold %v vs warm %v", cold.Diags, warm.Diags)
+	}
+	for i := range cold.Diags {
+		if cold.Diags[i].Message != warm.Diags[i].Message {
+			t.Errorf("diag %d diverges: %q vs %q", i, cold.Diags[i].Message, warm.Diags[i].Message)
+		}
+	}
+
+	// Edit only b: a stays cached, b re-analyzes against a's facts as
+	// installed from disk — if installStored dropped them, the run()
+	// helper's cross-package diagnostic check fails here.
+	bPath := filepath.Join(dir, "b", "b.go")
+	bSrc, err := os.ReadFile(bPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, append(bSrc, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run("b edited", 1, 1)
+	run("b cached again", 0, 2)
+
+	// Edit a: its own entry and — through the chained fingerprint — b's
+	// must both go stale, even though b's bytes are unchanged.
+	aPath := filepath.Join(dir, "a", "a.go")
+	aSrc, err := os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(aSrc, []byte("\n// edited dep\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	run("a edited", 2, 0)
+}
+
+// TestFactCacheSchemaMismatch pins that entries from a different analyzer
+// set miss rather than poison the run.
+func TestFactCacheSchemaMismatch(t *testing.T) {
+	dir := factModule(t)
+	cache := filepath.Join(t.TempDir(), "factcache")
+	if _, err := RunModule(dir, []*Analyzer{factProbe}, Options{CacheDir: cache}, "./b"); err != nil {
+		t.Fatal(err)
+	}
+	// A different analyzer selection changes the fingerprint: everything
+	// re-analyzes instead of hitting the probe's entries.
+	res, err := RunModule(dir, []*Analyzer{MapRange}, Options{CacheDir: cache}, "./b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cached != 0 || res.Stats.Analyzed != 2 {
+		t.Fatalf("stats = %+v, want a full re-analysis on analyzer-set change", res.Stats)
+	}
+}
+
+// TestCkptSkipReasonRequired pins the mandatory-reason rule for the
+// //ckpt:skip directive (reported by ckptcomplete itself, in the package
+// owning the directive).
+func TestCkptSkipReasonRequired(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module factmod\n\ngo 1.21\n",
+		"a/a.go": "package a\n\ntype T struct {\n\t//ckpt:skip\n\tX int\n}\n",
+	})
+	diags, err := RunDir(dir, []*Analyzer{CkptComplete}, "./a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDiag(diags, "//ckpt:skip directive needs a reason") {
+		t.Errorf("reasonless //ckpt:skip not reported: %v", diags)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"hash/fnv"
 	"io"
 	"os"
 	"os/exec"
@@ -27,6 +28,20 @@ type Package struct {
 	Syntax     []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+
+	// Target reports whether the package matched the load patterns.
+	// Non-target packages are module-internal dependencies, loaded so
+	// their analyses can export facts; their own diagnostics are
+	// discarded.
+	Target bool
+
+	// ModImports lists the package's module-internal imports — the edges
+	// facts flow along.
+	ModImports []string
+
+	// SrcHash is an FNV-1a hash over the package's source files, the
+	// per-package half of the fact cache fingerprint.
+	SrcHash uint64
 }
 
 // listedPackage mirrors the subset of `go list -json` output the loader
@@ -37,19 +52,46 @@ type listedPackage struct {
 	Name       string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
+	Module     *struct{ Path, Dir string }
 	Error      *struct{ Err string }
 }
 
-// Load type-checks the packages matched by patterns, resolved relative to
-// dir (a directory inside the target module). It shells out to
-// `go list -export -deps` so dependencies — including the standard
-// library — are imported from compiler export data rather than re-checked
-// from source, then parses and type-checks only the matched packages.
-// Test files are host-side code and are not loaded; the determinism
-// contracts guard the simulation path, which lives in package GoFiles.
-func Load(dir string, patterns ...string) ([]*Package, error) {
+// pkgSpec is the pre-type-check description of one module-internal
+// package: enough to fingerprint it (for the fact cache) without parsing
+// it, and to parse + type-check it on demand.
+type pkgSpec struct {
+	path       string
+	dir        string
+	target     bool
+	files      []string // absolute paths
+	src        [][]byte // file contents, read once for hashing and parsing
+	modImports []string // imports inside the module, topo edges
+	hash       uint64   // FNV-1a over file names and contents
+}
+
+// A Module is the loaded view of one Go module: every module-internal
+// package in the dependency closure of the matched patterns, in
+// topological order (dependencies first), with type-checking deferred
+// until Check so cached packages never pay for it. Dependencies outside
+// the module (the standard library) are imported from compiler export
+// data, never from source.
+type Module struct {
+	Dir     string
+	fset    *token.FileSet
+	conf    types.Config
+	specs   []*pkgSpec
+	byPath  map[string]*pkgSpec
+	checked map[string]*Package
+}
+
+// LoadModule resolves patterns relative to dir (a directory inside the
+// target module) via `go list -export -deps`, reads and hashes the source
+// of every module-internal package in the closure, and returns them
+// topologically sorted. No parsing or type-checking happens yet.
+func LoadModule(dir string, patterns ...string) (*Module, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -58,66 +100,190 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 
-	// Export data for every dependency, keyed by import path. The gc
-	// importer reads these files directly.
-	exports := make(map[string]string)
-	var targets []*listedPackage
+	// The root module is whichever module the matched packages live in.
+	var rootMod string
 	for _, p := range listed {
-		if p.Error != nil && !p.DepOnly {
-			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		if !p.DepOnly && p.Module != nil {
+			rootMod = p.Module.Path
+			break
 		}
+	}
+
+	exports := make(map[string]string)
+	m := &Module{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		byPath:  make(map[string]*pkgSpec),
+		checked: make(map[string]*Package),
+	}
+	for _, p := range listed {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard && p.Name != "" {
-			targets = append(targets, p)
+		internal := !p.Standard && p.Module != nil && rootMod != "" && p.Module.Path == rootMod
+		if p.Error != nil {
+			if !p.DepOnly || internal {
+				return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+			}
+			continue
 		}
+		if !internal || p.Name == "" {
+			continue
+		}
+		spec := &pkgSpec{path: p.ImportPath, dir: p.Dir, target: !p.DepOnly}
+		h := fnv.New64a()
+		for _, name := range p.GoFiles {
+			full := filepath.Join(p.Dir, name)
+			src, err := os.ReadFile(full)
+			if err != nil {
+				return nil, fmt.Errorf("reading %s: %w", full, err)
+			}
+			io.WriteString(h, name)
+			h.Write([]byte{0})
+			h.Write(src)
+			h.Write([]byte{0})
+			spec.files = append(spec.files, full)
+			spec.src = append(spec.src, src)
+		}
+		spec.hash = h.Sum64()
+		spec.modImports = p.Imports // filtered to module-internal below
+		m.byPath[p.ImportPath] = spec
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	// Keep only module-internal import edges, then topo-sort
+	// (dependencies first, lexicographic among ready packages, so the
+	// analysis order — and with it fact and diagnostic production — is
+	// deterministic).
+	for _, spec := range m.byPath {
+		var mod []string
+		for _, imp := range spec.modImports {
+			if _, ok := m.byPath[imp]; ok {
+				mod = append(mod, imp)
+			}
+		}
+		sort.Strings(mod)
+		spec.modImports = mod
+	}
+	m.specs, err = topoSort(m.byPath)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := importer.ForCompiler(m.fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(f)
 	})
+	m.conf = types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	return m, nil
+}
 
-	var pkgs []*Package
-	for _, p := range targets {
-		var files []*ast.File
-		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("parse %s: %w", name, err)
+func topoSort(byPath map[string]*pkgSpec) ([]*pkgSpec, error) {
+	indeg := make(map[string]int, len(byPath))
+	rdeps := make(map[string][]string, len(byPath))
+	for path, spec := range byPath {
+		indeg[path] += 0
+		for _, imp := range spec.modImports {
+			indeg[path]++
+			rdeps[imp] = append(rdeps[imp], path)
+		}
+	}
+	var ready []string
+	for path, d := range indeg {
+		if d == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+	var out []*pkgSpec
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		out = append(out, byPath[path])
+		var woke []string
+		for _, rd := range rdeps[path] {
+			if indeg[rd]--; indeg[rd] == 0 {
+				woke = append(woke, rd)
 			}
-			files = append(files, f)
 		}
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			Implicits:  make(map[ast.Node]types.Object),
-			Scopes:     make(map[ast.Node]*types.Scope),
-		}
-		conf := types.Config{
-			Importer: imp,
-			Sizes:    types.SizesFor("gc", runtime.GOARCH),
-		}
-		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		sort.Strings(woke)
+		ready = append(ready, woke...)
+		sort.Strings(ready)
+	}
+	if len(out) != len(byPath) {
+		return nil, fmt.Errorf("import cycle among module packages")
+	}
+	return out, nil
+}
+
+// Check parses and type-checks one package by import path, memoized.
+// Test files are host-side code and are not loaded; the determinism
+// contracts guard the simulation path, which lives in package GoFiles.
+func (m *Module) Check(path string) (*Package, error) {
+	if pkg, ok := m.checked[path]; ok {
+		return pkg, nil
+	}
+	spec, ok := m.byPath[path]
+	if !ok {
+		return nil, fmt.Errorf("package %s not loaded", path)
+	}
+	var files []*ast.File
+	for i, name := range spec.files {
+		f, err := parser.ParseFile(m.fset, name, spec.src[i], parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+			return nil, fmt.Errorf("parse %s: %w", name, err)
 		}
-		pkgs = append(pkgs, &Package{
-			ImportPath: p.ImportPath,
-			Dir:        p.Dir,
-			Fset:       fset,
-			Syntax:     files,
-			Types:      tpkg,
-			TypesInfo:  info,
-		})
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := m.conf.Check(spec.path, m.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", spec.path, err)
+	}
+	pkg := &Package{
+		ImportPath: spec.path,
+		Dir:        spec.dir,
+		Fset:       m.fset,
+		Syntax:     files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		Target:     spec.target,
+		ModImports: spec.modImports,
+		SrcHash:    spec.hash,
+	}
+	m.checked[path] = pkg
+	return pkg, nil
+}
+
+// Load type-checks the packages matched by patterns plus their
+// module-internal dependency closure, in topological order (dependencies
+// first). Matched packages have Target set; dependency-only packages
+// participate in analysis for their facts but their diagnostics are
+// discarded by Run.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	m, err := LoadModule(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(m.specs))
+	for _, spec := range m.specs {
+		pkg, err := m.Check(spec.path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
 }

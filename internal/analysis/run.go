@@ -1,43 +1,255 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
 
-// Run applies every analyzer to every package, resolves positions, filters
-// suppressed findings, and returns the survivors sorted by position. A
-// malformed suppression directive (missing reason) is reported as a
-// diagnostic from the pseudo-analyzer "lintdirective" so it cannot hide a
-// finding silently.
+// factCacheSchema versions the on-disk fact cache format and the fact
+// semantics baked into the analyzers. Bump it whenever either changes;
+// stale entries are silently recomputed.
+const factCacheSchema = 1
+
+// Options configures a module analysis run.
+type Options struct {
+	// CacheDir enables the on-disk fact cache: per-package entries keyed
+	// by a fingerprint over the package's sources, its module-internal
+	// dependencies' fingerprints, and the analyzer set. A package whose
+	// fingerprint matches is not parsed, type-checked, or analyzed — its
+	// facts, suppressions, and diagnostics come from the cache. Empty
+	// disables caching.
+	CacheDir string
+}
+
+// Stats reports how much work a run did (and the cache saved).
+type Stats struct {
+	Analyzed int // packages parsed, type-checked, and analyzed
+	Cached   int // packages served entirely from the fact cache
+}
+
+// Result is the outcome of RunModule.
+type Result struct {
+	Diags []Diagnostic
+	Stats Stats
+}
+
+// runner carries one analysis run's shared state: the fact store, the
+// lazily built object-key indexes, and the module-wide suppression table
+// (Finish-phase diagnostics can land in any loaded package's files, so
+// suppression must see every package's directives).
+type runner struct {
+	analyzers []*Analyzer
+	store     *factStore
+	keys      keyIndex
+	sup       suppressions
+}
+
+func newRunner(analyzers []*Analyzer) (*runner, error) {
+	store, err := newFactStore(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return &runner{
+		analyzers: analyzers,
+		store:     store,
+		keys:      make(keyIndex),
+		sup:       make(suppressions),
+	}, nil
+}
+
+// runPackage analyzes one package: collects its suppression directives
+// (merging them into the module-wide table), runs every analyzer, and
+// returns the package's surviving diagnostics — whether they are kept
+// depends on the package being a target, which the caller decides.
+func (r *runner) runPackage(pkg *Package) ([]Diagnostic, suppressions, error) {
+	sup, diags := collectSuppressions(pkg)
+	r.mergeSup(sup)
+	for _, a := range r.analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Syntax,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			run:       r,
+		}
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			d.Position = pkg.Fset.Position(d.Pos)
+			fillSuggest(&d)
+			if !sup.suppresses(a.Name, d.Position) {
+				diags = append(diags, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+	return diags, sup, nil
+}
+
+// finish runs every analyzer's Finish hook over the completed fact store.
+// Duplicate findings (the same analyzer, position, and message — e.g. one
+// allocation site reachable from two hot roots) collapse to one.
+func (r *runner) finish() ([]Diagnostic, error) {
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, a := range r.analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		fp := &FinishPass{Analyzer: a, run: r}
+		fp.Report = func(d Diagnostic) {
+			d.Analyzer = a.Name
+			fillSuggest(&d)
+			if r.sup.suppresses(a.Name, d.Position) {
+				return
+			}
+			key := fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%s",
+				d.Analyzer, d.Position.Filename, d.Position.Line, d.Position.Column, d.Message)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			out = append(out, d)
+		}
+		if err := a.Finish(fp); err != nil {
+			return nil, fmt.Errorf("%s: finish: %w", a.Name, err)
+		}
+	}
+	return out, nil
+}
+
+func (r *runner) mergeSup(sup suppressions) {
+	for key, names := range sup {
+		dst := r.sup[key]
+		if dst == nil {
+			dst = make(map[string]bool, len(names))
+			r.sup[key] = dst
+		}
+		for name := range names {
+			dst[name] = true
+		}
+	}
+}
+
+// fillSuggest gives every finding a copy-paste acceptance directive for
+// `dcpimlint -fix`, unless the analyzer set a more specific one (e.g.
+// ckptcomplete suggests //ckpt:skip).
+func fillSuggest(d *Diagnostic) {
+	if d.Suggest == "" && d.Analyzer != "lintdirective" {
+		d.Suggest = fmt.Sprintf("//lint:ignore %s <why this is safe>", d.Analyzer)
+	}
+}
+
+// Run applies every analyzer to every package, resolves positions,
+// filters suppressed findings and non-target packages' findings, runs the
+// Finish phase over the accumulated facts, and returns the survivors
+// sorted by position. pkgs must come from Load (module-internal
+// dependencies present, topologically ordered) for cross-package facts to
+// flow correctly. A malformed suppression directive (missing reason) is
+// reported as a diagnostic from the pseudo-analyzer "lintdirective" so it
+// cannot hide a finding silently.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	r, err := newRunner(analyzers)
+	if err != nil {
+		return nil, err
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		sup, bad := collectSuppressions(pkg)
-		diags = append(diags, bad...)
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Syntax,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
-			}
-			pass.Report = func(d Diagnostic) {
-				d.Analyzer = a.Name
-				d.Position = pkg.Fset.Position(d.Pos)
-				if !sup.suppresses(a.Name, d.Position) {
-					diags = append(diags, d)
+		pkgDiags, _, err := r.runPackage(pkg)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Target {
+			diags = append(diags, pkgDiags...)
+		}
+	}
+	fdiags, err := r.finish()
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, fdiags...)
+	sortDiags(diags)
+	return diags, nil
+}
+
+// RunDir loads patterns relative to dir and runs analyzers over the result.
+func RunDir(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	res, err := RunModule(dir, analyzers, Options{}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// RunModule is the full pipeline with fact-cache support: packages whose
+// fingerprint matches a cache entry are skipped entirely (no parse, no
+// type-check, no analyzer run) — their facts, suppression directives, and
+// diagnostics are installed from disk instead.
+func RunModule(dir string, analyzers []*Analyzer, opts Options, patterns ...string) (*Result, error) {
+	m, err := LoadModule(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	r, err := newRunner(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	sig := analyzerSig(analyzers)
+	fps := make(map[string]uint64, len(m.specs))
+	for _, spec := range m.specs {
+		fp := fingerprint(sig, spec, fps)
+		fps[spec.path] = fp
+		if opts.CacheDir != "" {
+			if entry, ok := readCacheEntry(opts.CacheDir, spec.path, fp); ok {
+				if err := r.store.installStored(spec.path, entry.Facts); err == nil {
+					r.mergeSup(entry.suppressions())
+					if spec.target {
+						res.Diags = append(res.Diags, entry.Diags...)
+					}
+					res.Stats.Cached++
+					continue
 				}
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+		pkg, err := m.Check(spec.path)
+		if err != nil {
+			return nil, err
+		}
+		diags, sup, err := r.runPackage(pkg)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats.Analyzed++
+		if spec.target {
+			res.Diags = append(res.Diags, diags...)
+		}
+		if opts.CacheDir != "" {
+			if err := writeCacheEntry(opts.CacheDir, spec.path, fp, r.store, sup, diags); err != nil {
+				return nil, fmt.Errorf("writing fact cache for %s: %w", spec.path, err)
 			}
 		}
 	}
+	fdiags, err := r.finish()
+	if err != nil {
+		return nil, err
+	}
+	res.Diags = append(res.Diags, fdiags...)
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
 		if a.Filename != b.Filename {
@@ -51,16 +263,118 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }
 
-// RunDir loads patterns relative to dir and runs analyzers over the result.
-func RunDir(dir string, analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
-	pkgs, err := Load(dir, patterns...)
-	if err != nil {
-		return nil, err
+// analyzerSig hashes the analyzer set (and the fact schema) into the
+// cache fingerprint, so runs with different -only selections or analyzer
+// versions never share entries.
+func analyzerSig(analyzers []*Analyzer) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "schema=%d", factCacheSchema)
+	for _, a := range analyzers {
+		io.WriteString(h, a.Name)
+		h.Write([]byte{0})
 	}
-	return Run(pkgs, analyzers)
+	return h.Sum64()
+}
+
+// fingerprint keys one package's cache entry: analyzer set, the package's
+// own sources, and — transitively, via the chained dep fingerprints — the
+// sources of everything it imports inside the module. Any edit to a
+// dependency therefore invalidates its dependents' entries (the
+// stale-fact test in facts_test.go pins this).
+func fingerprint(sig uint64, spec *pkgSpec, deps map[string]uint64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%x/%s/%x", sig, spec.path, spec.hash)
+	for _, imp := range spec.modImports {
+		fmt.Fprintf(h, "/%s=%x", imp, deps[imp])
+	}
+	return h.Sum64()
+}
+
+// cacheEntry is one package's serialized analysis output.
+type cacheEntry struct {
+	Schema      int          `json:"schema"`
+	Fingerprint string       `json:"fingerprint"`
+	Package     string       `json:"package"`
+	Facts       []storedFact `json:"facts,omitempty"`
+	Sups        []cachedSup  `json:"suppressions,omitempty"`
+	Diags       []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+type cachedSup struct {
+	File  string   `json:"file"`
+	Line  int      `json:"line"`
+	Names []string `json:"names"`
+}
+
+func (e *cacheEntry) suppressions() suppressions {
+	sup := make(suppressions, len(e.Sups))
+	for _, s := range e.Sups {
+		names := make(map[string]bool, len(s.Names))
+		for _, n := range s.Names {
+			names[n] = true
+		}
+		sup[suppressionKey{s.File, s.Line}] = names
+	}
+	return sup
+}
+
+func cachePath(dir, pkgPath string) string {
+	return filepath.Join(dir, strings.ReplaceAll(pkgPath, "/", "_")+".facts.json")
+}
+
+func readCacheEntry(dir, pkgPath string, fp uint64) (*cacheEntry, bool) {
+	data, err := os.ReadFile(cachePath(dir, pkgPath))
+	if err != nil {
+		return nil, false
+	}
+	entry := new(cacheEntry)
+	if err := json.Unmarshal(data, entry); err != nil {
+		return nil, false
+	}
+	if entry.Schema != factCacheSchema || entry.Package != pkgPath ||
+		entry.Fingerprint != fmt.Sprintf("%016x", fp) {
+		return nil, false
+	}
+	return entry, true
+}
+
+func writeCacheEntry(dir, pkgPath string, fp uint64, store *factStore, sup suppressions, diags []Diagnostic) error {
+	facts, err := store.encodePkg(pkgPath)
+	if err != nil {
+		return err
+	}
+	entry := &cacheEntry{
+		Schema:      factCacheSchema,
+		Fingerprint: fmt.Sprintf("%016x", fp),
+		Package:     pkgPath,
+		Facts:       facts,
+		Diags:       diags,
+	}
+	keys := make([]suppressionKey, 0, len(sup))
+	for k := range sup {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i].file < keys[j].file || (keys[i].file == keys[j].file && keys[i].line < keys[j].line)
+	})
+	for _, k := range keys {
+		names := make([]string, 0, len(sup[k]))
+		for n := range sup[k] {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		entry.Sups = append(entry.Sups, cachedSup{File: k.file, Line: k.line, Names: names})
+	}
+	data, err := json.MarshalIndent(entry, "", "\t")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(cachePath(dir, pkgPath), data, 0o644)
 }
 
 // suppressionKey identifies one line of one file.
@@ -86,7 +400,9 @@ func (s suppressions) suppresses(analyzer string, pos token.Position) bool {
 // directive covers its own line and, when it stands alone on a line, the
 // line directly below — so it can trail the offending statement or sit
 // immediately above it. Directives with no reason are returned as
-// diagnostics instead of taking effect.
+// diagnostics instead of taking effect. The hotpath/coldpath marker
+// directives are parsed here only for reason enforcement; hotalloc reads
+// them from function doc comments itself.
 func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
 	sup := make(suppressions)
 	var bad []Diagnostic
@@ -123,6 +439,9 @@ func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
 					})
 					continue
 				}
+				if name == "hotpath" || name == "coldpath" {
+					continue // markers, not suppressions; hotalloc consumes them
+				}
 				lines := []int{pos.Line}
 				if !codeLines[pos.Line] {
 					lines = append(lines, pos.Line+1)
@@ -140,12 +459,24 @@ func collectSuppressions(pkg *Package) (suppressions, []Diagnostic) {
 	return sup, bad
 }
 
-// parseDirective recognizes "//lint:ignore <name> <reason>" and
-// "//lint:deterministic <reason>". For ignore directives it returns the
-// target analyzer name; for deterministic ones it returns "deterministic".
+// parseDirective recognizes the //lint: directive family:
+// "//lint:ignore <name> <reason>" returns the target analyzer name;
+// "//lint:deterministic <reason>" returns "deterministic" (maprange
+// only); "//lint:hotpath <reason>" and "//lint:coldpath <reason>" return
+// "hotpath"/"coldpath" — markers for the hotalloc analyzer rather than
+// suppressions, but parsed here so the mandatory-reason rule covers them
+// too.
 func parseDirective(text string) (name, reason string, ok bool) {
-	switch {
-	case strings.HasPrefix(text, "//lint:ignore"):
+	for _, kw := range [...]string{"deterministic", "hotpath", "coldpath"} {
+		if strings.HasPrefix(text, "//lint:"+kw) {
+			rest := strings.TrimPrefix(text, "//lint:"+kw)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				return "", "", false
+			}
+			return kw, strings.TrimSpace(rest), true
+		}
+	}
+	if strings.HasPrefix(text, "//lint:ignore") {
 		rest := strings.TrimPrefix(text, "//lint:ignore")
 		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
 			return "", "", false
@@ -155,12 +486,6 @@ func parseDirective(text string) (name, reason string, ok bool) {
 			return "ignore", "", true // malformed: no analyzer, no reason
 		}
 		return fields[0], strings.Join(fields[1:], " "), true
-	case strings.HasPrefix(text, "//lint:deterministic"):
-		rest := strings.TrimPrefix(text, "//lint:deterministic")
-		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-			return "", "", false
-		}
-		return "deterministic", strings.TrimSpace(rest), true
 	}
 	return "", "", false
 }

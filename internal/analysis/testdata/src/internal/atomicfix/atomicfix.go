@@ -1,0 +1,52 @@
+// Package atomicfix exercises the atomicfield analyzer: fields managed
+// via sync/atomic — typed wrappers or pointer-style calls — must never be
+// read or written plainly outside construction.
+package atomicfix
+
+import "sync/atomic"
+
+// counter mixes the two atomic flavors with an unmanaged plain field.
+type counter struct {
+	hits   atomic.Int64
+	legacy int64 // managed pointer-style in bump, so plain access is a finding
+	plain  int
+}
+
+// bump uses every field legally: typed atomic as a method-call receiver,
+// legacy through sync/atomic (which also marks it), plain field plainly.
+func (c *counter) bump() {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.legacy, 1)
+	c.plain++
+}
+
+func (c *counter) broken() int64 {
+	x := c.hits // want "field hits has atomic type sync/atomic.Int64 and may only be used as a method-call receiver"
+	_ = x
+	return c.legacy // want "field legacy is managed by sync/atomic .* and must not be accessed plainly"
+}
+
+// newCounter constructs the value, so plain initialization of the marked
+// field is exempt: nothing else can hold a reference yet.
+func newCounter() *counter {
+	c := &counter{}
+	c.legacy = 0
+	return c
+}
+
+func (c *counter) reset() {
+	//lint:ignore atomicfield single-threaded test reset with no concurrent observers
+	c.legacy = 0
+}
+
+// Gate is accessed from the dependent package atomicfix/use: the
+// AtomicFieldFact exported for Seq here must cross the package boundary
+// to flag the plain read over there.
+type Gate struct {
+	Seq int64
+}
+
+// Open marks Gate.Seq as atomically managed.
+func (g *Gate) Open() {
+	atomic.AddInt64(&g.Seq, 1)
+}

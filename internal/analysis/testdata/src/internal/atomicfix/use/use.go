@@ -1,0 +1,19 @@
+// Package atomicuse reads a field that package atomicfix manages with
+// pointer-style sync/atomic. The finding below only exists if the
+// AtomicFieldFact exported by atomicfix is imported here — across the
+// export-data package boundary.
+package atomicuse
+
+import "dcpim/internal/atomicfix"
+
+// Snoop races Gate.Open on a real run.
+func Snoop(g *atomicfix.Gate) int64 {
+	return g.Seq // want "field Seq is managed by sync/atomic .* and must not be accessed plainly"
+}
+
+// Sanctioned accesses the same field atomically and under an inline
+// suppression: no findings.
+func Sanctioned(g *atomicfix.Gate) int64 {
+	//lint:ignore atomicfield fixture proving suppression crosses packages too
+	return g.Seq
+}

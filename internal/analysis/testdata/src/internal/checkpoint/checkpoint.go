@@ -1,0 +1,35 @@
+// Package checkpoint is a fixture stub of the real encoder: ckptcomplete
+// recognizes capture paths by a *checkpoint.Encoder parameter, so fixture
+// capture functions need the type at the mirrored import path. The
+// package itself is exempt from ckptcomplete (its internals are the
+// serialization mechanism, not checkpointed state), which the stub's own
+// unencoded fields double-check.
+package checkpoint
+
+// Encoder is the stub encoder. Its buf field is deliberately never
+// "encoded": the checkpoint package exemption must keep it silent.
+type Encoder struct {
+	buf []byte
+}
+
+// I64 appends a little-endian int64.
+func (e *Encoder) I64(v int64) {
+	for i := 0; i < 8; i++ {
+		e.buf = append(e.buf, byte(v>>(8*i)))
+	}
+}
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.I64(int64(v)) }
+
+// Bool appends one byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Bytes returns the encoded stream.
+func (e *Encoder) Bytes() []byte { return e.buf }

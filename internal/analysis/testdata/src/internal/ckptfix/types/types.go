@@ -1,0 +1,14 @@
+// Package ckpttypes declares a struct captured from another package
+// (ckptfix.captureWire). Its CkptStructFact must cross the package
+// boundary for the Finish pass to diff capture coverage against the
+// authoritative field list — the findings below only exist if the fact
+// mechanism works.
+package ckpttypes
+
+// Wire is encoded by dcpim/internal/ckptfix.captureWire, which covers
+// Seq only.
+type Wire struct {
+	Seq int64
+	Gen int64  // want "field dcpim/internal/ckptfix/types.Wire.Gen is reachable from the capture path .* but never encoded"
+	Tag string //ckpt:skip debugging label, not protocol state
+}

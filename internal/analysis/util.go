@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -122,6 +123,71 @@ func callsInto(info *types.Info, expr ast.Expr, pkgPath, name string) bool {
 		return !found
 	})
 	return found
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// inspectStack walks the AST like ast.Inspect, additionally passing the
+// stack of ancestor nodes (outermost first, excluding n itself). The
+// callback's return controls descent into n's children.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		desc := fn(n, stack)
+		if desc {
+			stack = append(stack, n)
+		}
+		return desc
+	})
+}
+
+// directiveLines maps every line of f covered by the named //lint: or
+// //ckpt: directive to its reason, using the shared placement convention:
+// a directive covers its own line, plus the line below when it stands
+// alone. Reasonless directives are included (reason "") — the caller
+// decides whether to report them; collectSuppressions already reports
+// reasonless //lint: forms, and ckptcomplete reports reasonless
+// //ckpt:skip itself.
+func directiveLines(fset *token.FileSet, f *ast.File, name string, parse func(text string) (string, string, bool)) map[int]string {
+	covered := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.Comment); ok {
+			return false
+		}
+		if _, ok := n.(*ast.CommentGroup); ok {
+			return false
+		}
+		covered[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+	out := make(map[int]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			dn, reason, ok := parse(c.Text)
+			if !ok || dn != name {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = reason
+			if !covered[line] {
+				out[line+1] = reason
+			}
+		}
+	}
+	return out
 }
 
 // namedTypeIs reports whether t (after stripping pointers) is the named

@@ -12,16 +12,20 @@ import (
 
 // Proto is one host's dcPIM instance: it plays both the sender and the
 // receiver role simultaneously. It implements netsim.Protocol.
+// Proto's checkpoint (core/checkpoint.go) captures the protocol state
+// machine — tick, epoch, and both role halves. The fields below it are
+// wiring and configuration the resuming run reconstructs through the same
+// deterministic setup before Restore runs.
 type Proto struct {
-	cfg Config
-	tm  timing
-	col *stats.Collector
-	ins instruments // optional telemetry (RegisterMetrics); zero value is inert
+	cfg Config           //ckpt:skip construction input, supplied again by the resuming run
+	tm  timing           //ckpt:skip derived from cfg at Attach
+	col *stats.Collector //ckpt:skip collector wiring; the Collector captures its own state
+	ins instruments      //ckpt:skip optional telemetry wiring, re-registered at setup
 
-	host *netsim.Host
-	eng  *sim.Engine
-	rng  *rand.Rand
-	id   int
+	host *netsim.Host //ckpt:skip attachment wiring, re-established by Attach
+	eng  *sim.Engine  //ckpt:skip attachment wiring, re-established by Attach
+	rng  *rand.Rand   //ckpt:skip aliases the host's stream; its position is captured as Host draws
+	id   int          //ckpt:skip topology identity, re-established by Attach
 
 	tick  int64 // stage ticks elapsed
 	epoch int64 // current epoch (data phase) index
@@ -120,6 +124,8 @@ func (p *Proto) OnFlowArrival(f workload.Flow) {
 
 // OnPacket implements netsim.Protocol, dispatching by kind to the sender
 // or receiver half.
+//
+//lint:hotpath per-packet fast path under the 0-alloc contract of BenchmarkDcPIMEndToEnd steady state
 func (p *Proto) OnPacket(pkt *packet.Packet) {
 	switch pkt.Kind {
 	case packet.Data:

@@ -28,7 +28,7 @@ type recvFlow struct {
 	tokened      []tokenRef // FIFO of issued tokens (lazy cleanup)
 	retx         []int32    // reverted seqs awaiting re-admission
 	nextNew      int        // lowest never-tokened seq
-	senderIdx    int        // position in receiver.bySender[src] (swap-delete)
+	senderIdx    int        //ckpt:skip position in the derived bySender index, rebuilt with it
 	outstanding  int        // live tokens (sent, data not received)
 	untokenedCnt int
 	receivedCnt  int
@@ -91,7 +91,7 @@ type tokenLoop struct {
 // RTS, accepts grants, clocks tokens to matched senders, and detects and
 // recovers losses.
 type receiver struct {
-	p *Proto
+	p *Proto //ckpt:skip owner back-pointer, re-established by Attach
 
 	flows map[uint64]*recvFlow
 	// bySender lists each sender's live flows (swap-deleted via
@@ -99,13 +99,13 @@ type receiver struct {
 	// so the token loop's per-fire scan walks a dense array. Every fold
 	// over it is order-insensitive or id-tie-broken, so the slice's
 	// mutation order cannot leak into the packet stream.
-	bySender map[int][]*recvFlow
+	bySender map[int][]*recvFlow //ckpt:skip derived index over flows, rebuilt from the captured flow records
 	// doneFlows remembers completed flow ids forever: duplicates and
 	// finish retransmissions must keep resolving as "done" after the flow
 	// record itself has been recycled. One map entry per completed flow
 	// is the irreducible long-run cost.
 	doneFlows map[uint64]struct{}
-	freeFlows []*recvFlow // recycled records (slab.go)
+	freeFlows []*recvFlow //ckpt:skip recycled-record free list, not logical state
 
 	// Matching state for epoch matchEpoch.
 	matchEpoch  int64
@@ -149,6 +149,7 @@ func (r *receiver) ensure(pkt *packet.Packet) *recvFlow {
 	f.untokenedCnt = n
 	r.flows[f.id] = f
 	f.senderIdx = len(r.bySender[f.src])
+	//lint:ignore hotalloc per-flow admission, not per-packet; swap-delete in complete keeps the per-sender slice's capacity for reuse
 	r.bySender[f.src] = append(r.bySender[f.src], f)
 
 	if f.short {
@@ -156,6 +157,7 @@ func (r *receiver) ensure(pkt *packet.Packet) *recvFlow {
 		// full data RTT, recover through the matching path (§3.2). Held in
 		// recoverTimer so recycling can cancel it before the record is
 		// reused.
+		//lint:ignore hotalloc one closure per short-flow admission, not per packet; it needs f and fires at most once
 		f.recoverTimer = r.p.eng.After(r.p.tm.dataRTT, func() {
 			if !f.done {
 				f.eligible = true
@@ -223,6 +225,7 @@ func (r *receiver) onData(d *packet.Packet) {
 	r.resumeLoop(d.Src)
 }
 
+//lint:coldpath runs once per flow completion, amortized across the flow's packets; FlowDone and UnloadedFCT costs live here, off the per-packet path
 func (r *receiver) complete(f *recvFlow) {
 	f.done = true
 	opt := r.p.host.Topo().UnloadedFCT(f.src, r.p.id, f.size)
@@ -344,8 +347,17 @@ func (r *receiver) fireLoop(l *tokenLoop) {
 	}
 	r.issueToken(l, best, bestSeq)
 	l.stalled = false
-	l.timer = r.p.eng.After(l.interval, func() { r.fireLoop(l) })
+	// Argument-form scheduling: the loop re-arms once per token issued
+	// (line rate), so a closure here would allocate per data packet —
+	// exactly what AfterFunc's event-stored arguments avoid (hotalloc
+	// flagged the closure form this replaced).
+	l.timer = r.p.eng.AfterFunc(l.interval, fireLoopFunc, r, l, 0)
 }
+
+// fireLoopFunc is the package-level AfterFunc trampoline for fireLoop:
+// both arguments are pointers, so storing them in the event's any slots
+// does not allocate.
+func fireLoopFunc(a, b any, _ int) { a.(*receiver).fireLoop(b.(*tokenLoop)) }
 
 func (r *receiver) issueToken(l *tokenLoop, f *recvFlow, seq int) {
 	if len(f.retx) > 0 && int(f.retx[0]) == seq {
@@ -356,6 +368,7 @@ func (r *receiver) issueToken(l *tokenLoop, f *recvFlow, seq int) {
 	f.outstanding++
 	r.p.ins.tokensIssued.Inc()
 	r.p.ins.tokensOutstanding.Add(1)
+	//lint:ignore hotalloc the tokened FIFO is bounded by the BDP window and recycleRecvFlow keeps its backing array, so appends reuse capacity after warmup
 	f.tokened = append(f.tokened, tokenRef{seq: int32(seq), epoch: int32(l.epoch)})
 
 	tok := packet.NewControl(packet.Token, r.p.id, f.src, f.id)
@@ -458,6 +471,7 @@ func (r *receiver) onGrant(g *packet.Packet) {
 		return
 	}
 	g.Keep() // buffered until the round's accept tick
+	//lint:ignore hotalloc one append per grant per matching round (epoch rate, not packet rate), bounded by the channel budget
 	r.grantBuf[g.Round] = append(r.grantBuf[g.Round], g)
 }
 

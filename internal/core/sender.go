@@ -13,10 +13,10 @@ import (
 // short flows immediately, and runs the notification/finish reliability
 // timers.
 type sender struct {
-	p *Proto
+	p *Proto //ckpt:skip owner back-pointer, re-established by Attach
 
 	flows     map[uint64]*sendFlow
-	freeFlows []*sendFlow // recycled records (slab.go)
+	freeFlows []*sendFlow //ckpt:skip recycled-record free list, not logical state
 
 	// Token queue (FIFO as issued by receivers, which already order their
 	// token streams by SRPT).
@@ -183,6 +183,7 @@ func (s *sender) onToken(tok *packet.Packet) {
 	// New admissions supersede the finish cycle (retransmissions).
 	f.finTimer.Cancel()
 	tok.Keep()
+	//lint:ignore hotalloc the token FIFO is bounded by the receiver's BDP window per flow; onEpochStart's in-place compaction keeps the backing array, so appends reuse capacity after warmup
 	s.tokens = append(s.tokens, tok)
 	s.kickPacer()
 }
@@ -295,6 +296,7 @@ func (s *sender) onRTS(rts *packet.Packet) {
 		return
 	}
 	rts.Keep() // buffered until the round's grant tick
+	//lint:ignore hotalloc one append per RTS per matching round (epoch rate, not packet rate), bounded by the channel budget
 	s.rtsBuf[rts.Round] = append(s.rtsBuf[rts.Round], rts)
 }
 

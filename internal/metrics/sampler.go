@@ -19,12 +19,12 @@ import (
 // events read state but never mutate it, draw no randomness, and
 // therefore leave the simulated packet stream untouched.
 type Sampler struct {
-	eng      *sim.Engine
+	eng      *sim.Engine //ckpt:skip engine wiring, re-established by the resuming run's setup
 	interval sim.Duration
 	cols     []column
 	times    []sim.Time
 	rows     [][]float64
-	started  bool
+	started  bool //ckpt:skip lifecycle flag; the resuming run re-arms sampling through its own Start/SampleAt
 }
 
 // NewSampler builds a sampler over reg's current instruments. Returns

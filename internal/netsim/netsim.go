@@ -97,18 +97,22 @@ type Protocol interface {
 }
 
 // Fabric is an instantiated network: topology + devices + configuration.
+// Its checkpoint (netsim/checkpoint.go) captures the dynamic plane —
+// shard counters, port queues, device fault state, protocol state —
+// while topology and execution wiring are reconstructed by building the
+// same fabric again before Restore.
 type Fabric struct {
-	eng  *sim.Engine // shard 0's engine (the only one when single-shard)
-	topo *topo.Topology
-	cfg  Config
+	eng  *sim.Engine    //ckpt:skip shard 0's engine, captured through shardState
+	topo *topo.Topology //ckpt:skip static topology, rebuilt by construction before restore
+	cfg  Config         //ckpt:skip construction input, supplied again by the resuming run
 
 	// Sharded execution state (see shard.go). A fabric built with New has
 	// one shard whose engine is eng and whose counters alias Counters, so
 	// the serial path is unchanged.
-	grp       *sim.Group
-	part      *topo.Partition
+	grp       *sim.Group      //ckpt:skip execution wiring, rebuilt by Shard; its counters are captured separately
+	part      *topo.Partition //ckpt:skip derived from topology + shard count at construction
 	shards    []*shardState
-	lookahead sim.Duration
+	lookahead sim.Duration //ckpt:skip derived from topology boundary delays at construction
 
 	hosts    []*Host
 	switches []*swDev
@@ -116,18 +120,18 @@ type Fabric struct {
 	// Counters aggregates across shards. Always current single-shard;
 	// with several shards it is recomputed at every barrier and when Run
 	// returns, so read it between runs, not from inside event callbacks.
-	Counters Counters
+	Counters Counters //ckpt:skip aggregate view, recomputed from the captured per-shard counters
 
 	// audit, when non-nil, tracks every packet the fabric owns and flags
 	// leaks, double-frees, and counter mismatches (see EnableAudit). It
 	// receives events as one of the observers but keeps a direct
 	// reference for AuditVerify/AuditErrors.
-	audit *auditor
+	audit *auditor //ckpt:skip debugging instrumentation, re-enabled by the resuming run if wanted
 
 	// obs fans packet-lifecycle events out to every registered Observer
 	// (tracing, auditing, digests, metrics probes). Empty for
 	// uninstrumented runs, which keeps the hot path allocation-free.
-	obs []Observer
+	obs []Observer //ckpt:skip observer wiring, re-registered at setup
 }
 
 // New builds a single-shard fabric over the topology: everything runs on
@@ -286,11 +290,11 @@ func (f *Fabric) Inject(tr *workload.Trace) {
 
 // Host is one end host: a protocol instance plus a NIC egress queue.
 type Host struct {
-	id    int
-	fab   *Fabric
-	sh    *shardState
+	id    int                 //ckpt:skip topology identity, re-established by construction
+	fab   *Fabric             //ckpt:skip owner back-pointer, re-established by construction
+	sh    *shardState         //ckpt:skip shard wiring, re-established by construction
 	src   *sim.CountingSource // rng's source, counted for checkpointing
-	rng   *rand.Rand
+	rng   *rand.Rand          //ckpt:skip rebuilt from the host seed + captured src draws
 	proto Protocol
 	nic   *outPort
 }
@@ -362,11 +366,11 @@ func hostDeliver(a, b any, _ int) {
 
 // swDev is a running switch: per-port output queues plus PFC state.
 type swDev struct {
-	fab   *Fabric
-	spec  *topo.Switch
-	sh    *shardState
+	fab   *Fabric             //ckpt:skip owner back-pointer, re-established by construction
+	spec  *topo.Switch        //ckpt:skip static topology, rebuilt by construction
+	sh    *shardState         //ckpt:skip shard wiring, re-established by construction
 	src   *sim.CountingSource // rng's source, counted for checkpointing
-	rng   *rand.Rand          // private stream for spraying and fault draws
+	rng   *rand.Rand          //ckpt:skip rebuilt from the switch seed + captured src draws
 	ports []*outPort
 
 	// down marks a rebooting switch: arrivals are discarded (FaultDrops)

@@ -19,17 +19,21 @@ type queued struct {
 // transmitter, and the attached link's rate and propagation delay.
 // A port belongs either to a switch (owner set) or to a host NIC
 // (hostNIC set).
+// A port's checkpoint (outPort.captureState) covers the dynamic plane:
+// queues, byte counts, PFC/fault state, and the boundary arrival
+// sequence. Link parameters and device wiring are static topology,
+// re-created identically by building the fabric before restore.
 type outPort struct {
-	fab      *Fabric
-	sh       *shardState // owning device's shard
-	rng      *rand.Rand  // owning device's private stream (fault draws)
-	rate     float64
-	delay    sim.Duration
-	capacity int64
+	fab      *Fabric      //ckpt:skip owner back-pointer, re-established by construction
+	sh       *shardState  //ckpt:skip shard wiring, re-established by construction
+	rng      *rand.Rand   //ckpt:skip aliases the owning device's stream; its position is captured there
+	rate     float64      //ckpt:skip static link parameter from topology
+	delay    sim.Duration //ckpt:skip static link parameter from topology
+	capacity int64        //ckpt:skip static link parameter from topology
 
-	owner     *swDev // nil for host NICs
-	ownerPort int
-	hostNIC   *Host // nil for switch ports
+	owner     *swDev //ckpt:skip device wiring, re-established by construction
+	ownerPort int    //ckpt:skip device wiring, re-established by construction
+	hostNIC   *Host  //ckpt:skip device wiring, re-established by construction
 
 	queues      [packet.NumPriorities][]queued
 	heads       [packet.NumPriorities]int
@@ -54,11 +58,11 @@ type outPort struct {
 	// built from the directed link id and a per-link sequence, so its
 	// execution order is identical at every shard count. Data and PFC
 	// frames on the same directed link share arrSeq.
-	boundary bool
-	linkID   uint64
+	boundary bool   //ckpt:skip static topology attribute (topo.Port.Boundary)
+	linkID   uint64 //ckpt:skip derived from the directed link identity at construction
 	arrSeq   uint64
-	peerSw   *swDev
-	peerIn   int
+	peerSw   *swDev //ckpt:skip peer wiring, re-established by construction
+	peerIn   int    //ckpt:skip peer wiring, re-established by construction
 }
 
 // faultDrop applies injected link faults (degrade / loss burst) at enqueue

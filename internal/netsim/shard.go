@@ -20,10 +20,10 @@ import (
 // shardState is the per-shard slice of the fabric: engine, disjoint
 // counters, and outbound staging queues.
 type shardState struct {
-	id       int
-	eng      *sim.Engine
+	id       int               //ckpt:skip shard ordinal, re-established by construction
+	eng      *sim.Engine       //ckpt:skip engine wiring; EngineStates are captured by the checkpoint driver
 	counters *Counters         // aliases Fabric.Counters when single-shard
-	out      [][]stagedArrival // per destination shard; nil when single-shard
+	out      [][]stagedArrival //ckpt:skip barrier staging queues, empty at every capture point (synced barrier)
 	staged   uint64            // cross-shard arrivals drained INTO this shard
 }
 

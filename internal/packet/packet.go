@@ -146,7 +146,7 @@ type Packet struct {
 	SentAt     sim.Time // when the source host handed the packet to its NIC
 	PauseClass uint8    // priority class a Pause/Resume applies to
 
-	keep bool // receiver claimed ownership past OnPacket (see Keep)
+	keep bool //ckpt:skip transient ownership flag, false for every packet at rest in a captured queue
 }
 
 // pool recycles packets across the whole process. Packets carry no

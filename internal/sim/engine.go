@@ -27,15 +27,15 @@ type Engine struct {
 	lad    *ladder  // band-0 events, ladder discipline (nil selects the heap)
 	qa     []*event // arrival-band events (ScheduleArrival), same order
 	seq    uint64
-	seed   int64
+	seed   int64           //ckpt:skip construction input; the RNG position is captured as Draws
 	src    *CountingSource // rng's source, counted so RNG position is checkpointable
-	rng    *rand.Rand
-	nEvent uint64 // total events executed, for instrumentation
-	free   *event // recycled events, linked through event.next
-	freeN  int    // free-list length, bounded by maxFreeEvents
+	rng    *rand.Rand      //ckpt:skip rebuilt from seed + captured Draws on restore
+	nEvent uint64          // total events executed, for instrumentation
+	free   *event          //ckpt:skip recycled-event free list, physical layout normalized away by EngineState
+	freeN  int             //ckpt:skip free-list length, same normalization as free
 
-	journalOn bool          // record executed events (checkpoint bisection)
-	journal   []EventRecord // (at, seq) of every event run since StartJournal
+	journalOn bool          //ckpt:skip bisection instrumentation, re-armed by StartJournal after resume
+	journal   []EventRecord //ckpt:skip bisection instrumentation, not simulation state
 }
 
 // QueueDiscipline selects the data structure holding band-0 events.
@@ -97,28 +97,32 @@ var maxFreeEvents = 1 << 15
 // event is one scheduled callback. Events are owned by the engine: when
 // one fires or is cancelled it returns to the free list and its gen is
 // bumped, which atomically invalidates every outstanding Timer handle.
+// Checkpoints capture an event as its execution-order key (at, seq) only:
+// the callback fields hold Go closures, which cannot be serialized, and
+// the location fields are physical layout that EngineState normalizes
+// away (see checkpoint.go). Restore rebinds callbacks via RebindFunc.
 type event struct {
-	eng *Engine
+	eng *Engine //ckpt:skip owner back-pointer, re-established when the restored engine re-allocates events
 	at  Time
 	seq uint64
-	gen uint32
-	idx int32 // heap index; -1 while on the free list
+	gen uint32 //ckpt:skip timer-invalidation stamp; outstanding Timers cannot outlive a restore
+	idx int32  //ckpt:skip heap slot, physical layout normalized away by EngineState
 
 	// Exactly one of fn / fnArgs is set. The argument form lets hot paths
 	// (one event per packet hop) schedule a package-level function plus
 	// its arguments without allocating a closure.
-	fnArgs func(a, b any, i int)
-	a, b   any
-	i      int
-	fn     func()
+	fnArgs func(a, b any, i int) //ckpt:skip closure, rebound by RebindFunc on restore
+	a, b   any                   //ckpt:skip closure arguments, rebound with fnArgs
+	i      int                   //ckpt:skip closure argument, rebound with fnArgs
+	fn     func()                //ckpt:skip closure, rebound by RebindFunc on restore
 
 	// bkt locates the event under the ladder discipline: nil while in a
 	// heap (idx is the heap slot), else the unsorted bucket or overflow
 	// slice holding it (idx is the slice slot). Always nil under the
 	// heap discipline.
-	bkt *[]*event
+	bkt *[]*event //ckpt:skip ladder bucket location, physical layout normalized away by EngineState
 
-	next *event // free-list link
+	next *event //ckpt:skip free-list link, physical layout normalized away by EngineState
 }
 
 // Timer is a cancellable handle to a scheduled event. The zero Timer is
@@ -217,6 +221,8 @@ func (e *Engine) Pending() int {
 }
 
 // alloc takes an event from the free list, or makes one.
+//
+//lint:coldpath event-slab growth; the free list covers steady state, allocating only while the live event population grows
 func (e *Engine) alloc() *event {
 	t := e.free
 	if t != nil {
@@ -264,6 +270,7 @@ func (e *Engine) push(at Time) *event {
 		return t
 	}
 	t.idx = int32(len(e.q))
+	//lint:ignore hotalloc heap growth is amortized to the peak event population; the backing array is reused for the rest of the run
 	e.q = append(e.q, t)
 	siftUp(e.q, int(t.idx))
 	return t
@@ -313,6 +320,8 @@ const arrivalBand = uint64(1) << 63
 // monotonic keys and confines arrival-key comparisons to the small
 // in-flight-arrivals heap; Step merges the two roots, where the band bit
 // in seq settles every same-instant tie in the main heap's favor.
+//
+//lint:hotpath one event per packet hop; 0-alloc contract of BenchmarkFabricForwarding
 func (e *Engine) ScheduleArrival(at Time, key uint64, fn func(a, b any, i int), a, b any, i int) {
 	if at < e.now {
 		panic("sim: scheduling event in the past")
@@ -321,6 +330,7 @@ func (e *Engine) ScheduleArrival(at Time, key uint64, fn func(a, b any, i int), 
 	t.at = at
 	t.seq = arrivalBand | key
 	t.idx = int32(len(e.qa))
+	//lint:ignore hotalloc arrival-heap growth is amortized to the peak in-flight arrival count; the backing array is reused for the rest of the run
 	e.qa = append(e.qa, t)
 	siftUp(e.qa, int(t.idx))
 	t.fnArgs = fn
@@ -347,6 +357,8 @@ func (e *Engine) After(d Duration, fn func()) Timer {
 // per-packet paths can schedule without allocating; fn should be a
 // package-level function. Pointer-shaped arguments (the usual case) do
 // not allocate when converted to any.
+//
+//lint:hotpath per-packet timer scheduling; 0-alloc contract of the forwarding benchmarks
 func (e *Engine) AfterFunc(d Duration, fn func(a, b any, i int), a, b any, i int) Timer {
 	if d < 0 {
 		panic("sim: negative delay")
@@ -372,6 +384,8 @@ func (e *Engine) ScheduleFunc(at Time, fn func(a, b any, i int), a, b any, i int
 // ran. The event is recycled before its callback runs, so the callback may
 // immediately reuse the storage by scheduling new events; its own handle
 // is already inert by the time it executes.
+//
+//lint:hotpath event drain loop; 0-alloc contract of BenchmarkEngineHold at both disciplines
 func (e *Engine) Step() bool {
 	var t *event
 	if len(e.qa) == 0 {
@@ -387,6 +401,7 @@ func (e *Engine) Step() bool {
 	e.now = t.at
 	e.nEvent++
 	if e.journalOn {
+		//lint:ignore hotalloc opt-in replay journal, off on every measured path; the guard above keeps default runs alloc-free
 		e.journal = append(e.journal, EventRecord{At: t.at, Seq: t.seq})
 	}
 	fn, fnArgs, a, b, i := t.fn, t.fnArgs, t.a, t.b, t.i

@@ -21,21 +21,24 @@ import "sync"
 //
 // A Group of one engine degenerates to plain serial execution with no
 // goroutines and no channels, so the serial path pays nothing.
+// A Group checkpoint (GroupState) carries only the barrier counters that
+// equivalence tests compare; the worker machinery below is live goroutine
+// state, rebuilt from scratch when the resumed run constructs its Group.
 type Group struct {
-	engines []*Engine
-	mode    BarrierMode
-	closed  bool
+	engines []*Engine   //ckpt:skip member engines capture their own EngineStates
+	mode    BarrierMode //ckpt:skip construction input, chosen again by the resuming run
+	closed  bool        //ckpt:skip lifecycle flag; a restored Group starts fresh
 
 	// Hybrid-barrier state: one padded command slot per worker plus the
 	// shared join barrier. busy is coordinator-private scratch.
-	slots []*workerSlot
-	join  joinBarrier
-	busy  []int
+	slots []*workerSlot //ckpt:skip live goroutine handshake state, rebuilt by NewGroup
+	join  joinBarrier   //ckpt:skip live goroutine handshake state, rebuilt by NewGroup
+	busy  []int         //ckpt:skip coordinator-private scratch, meaningless between epochs
 
 	// Legacy channel-barrier state.
-	work []chan Time // one per engine 1..n-1
+	work []chan Time //ckpt:skip live channels, rebuilt by NewGroup
 	//lint:ignore simgoroutine Group IS the sanctioned concurrency primitive; this joins its own epoch workers
-	wg sync.WaitGroup
+	wg sync.WaitGroup //ckpt:skip goroutine join state, rebuilt by NewGroup
 
 	// Barrier-overhead counters, maintained unconditionally (a few slice
 	// increments per shard per epoch — noise against an epoch's barrier
@@ -48,8 +51,8 @@ type Group struct {
 	epochs     uint64   // barriers executed
 	dispatched []uint64 // per shard: epochs it had work inside the window
 	skipped    []uint64 // per shard: epochs it was idle and only advanced its clock
-	crossings  uint64   // epochs that paid a cross-goroutine barrier round-trip
-	inlined    uint64   // worker-shard epochs run inline on the coordinator
+	crossings  uint64   //ckpt:skip hybrid-batching telemetry; GroupState compares only the mode-independent counters
+	inlined    uint64   //ckpt:skip hybrid-batching telemetry; GroupState compares only the mode-independent counters
 }
 
 // NewGroup builds a group over engines using the default hybrid
@@ -134,6 +137,8 @@ func (g *Group) Mode() BarrierMode { return g.mode }
 // with exactly one busy worker shard is also run inline — consecutive
 // such epochs (the common shape at high shard counts, where idle
 // skipping already thins the busy set) batch into zero crossings.
+//
+//lint:hotpath epoch barrier; 0-alloc contract of BenchmarkGroupEpoch
 func (g *Group) RunEpoch(until Time) {
 	g.epochs++
 	if len(g.engines) == 1 {
@@ -154,6 +159,7 @@ func (g *Group) RunEpoch(until Time) {
 			continue
 		}
 		g.dispatched[i]++
+		//lint:ignore hotalloc coordinator scratch preallocated to len(engines)-1 in NewGroupMode; busy starts at g.busy[:0] so this never grows
 		busy = append(busy, i)
 	}
 	g.busy = busy

@@ -53,24 +53,27 @@ const (
 // its last bucket absorbs the remainder.
 const ladTimeMax = Time(math.MaxInt64)
 
+// Checkpoints walk a ladder only to enumerate pending events; the rung
+// geometry is physical layout that EngineState normalizes away and a
+// restored engine regrows on its own.
 type ladSeg struct {
-	start Time     // left edge of bucket 0
-	width Duration // bucket width, ≥ 1 ps
+	start Time     //ckpt:skip rung geometry, physical layout normalized away by EngineState
+	width Duration //ckpt:skip bucket width, physical layout normalized away by EngineState
 	cur   int      // next bucket to drain
 	// limit is the rung's exclusive span end. It can be tighter than
 	// start + width*ladBuckets (width rounds up), and drain boundaries
 	// clamp to it: a spawned rung must never claim time past its
 	// parent bucket's right edge, or its last bucket would interleave
 	// out of order with the parent's next one.
-	limit   Time
+	limit   Time //ckpt:skip rung geometry, physical layout normalized away by EngineState
 	buckets [ladBuckets][]*event
 }
 
 type ladder struct {
 	active    []*event // min-heap by eventLess; the drain front
-	activeEnd Time     // exclusive: every event at ≥ activeEnd lives in segs
+	activeEnd Time     //ckpt:skip drain-front edge, physical layout normalized away by EngineState
 	segs      []*ladSeg
-	n         int // total events across all tiers
+	n         int //ckpt:skip derived count, physical layout normalized away by EngineState
 }
 
 // push files t into the tier its timestamp selects. O(1) except for
@@ -82,6 +85,7 @@ func (l *ladder) push(t *event) {
 	if at < l.activeEnd {
 		t.bkt = nil
 		t.idx = int32(len(l.active))
+		//lint:ignore hotalloc active-heap growth is amortized to the peak drain-front size; the backing array is reused across refills
 		l.active = append(l.active, t)
 		siftUp(l.active, int(t.idx))
 		return
@@ -117,6 +121,7 @@ func (l *ladder) file(s *ladSeg, t *event) {
 	bp := &s.buckets[b]
 	t.bkt = bp
 	t.idx = int32(len(*bp))
+	//lint:ignore hotalloc bucket appends reuse capacity left by earlier drains; growth is amortized to the bucket's peak population
 	*bp = append(*bp, t)
 }
 
@@ -126,6 +131,8 @@ func (l *ladder) file(s *ladSeg, t *event) {
 // makes the calendar robust to densities it was not tuned for); each
 // additional rung widens geometrically, so covering any timestamp takes
 // O(log_ladBuckets(span)) rungs total over the ladder's lifetime.
+//
+//lint:coldpath rung growth is geometrically bounded (O(log span) rungs ever); steady state never reaches it
 func (l *ladder) grow(at Time) *ladSeg {
 	base := l.activeEnd
 	var width Duration
@@ -225,6 +232,7 @@ func (l *ladder) advance() bool {
 // fill moves one drained bucket into the active heap (4-ary heapify,
 // O(len)) and advances the drain boundary to the bucket's right edge.
 func (l *ladder) fill(b []*event, end Time) {
+	//lint:ignore hotalloc append onto l.active[:0] reuses the heap's backing array; it grows only when a bucket beats the historical peak
 	l.active = append(l.active[:0], b...)
 	for i, ev := range l.active {
 		ev.bkt = nil
@@ -245,6 +253,8 @@ func (l *ladder) fill(b []*event, end Time) {
 // minimum shrinks the span to at most the parent's bucket width, so
 // resolution improves ~ladBuckets-fold per rung and the recursion
 // terminates.
+//
+//lint:coldpath rung spawning fires only on over-dense buckets (> ladSpawnMin) and its cost is amortized across the events it re-buckets
 func (l *ladder) spawn(b []*event, end Time) {
 	start := b[0].at
 	for _, ev := range b[1:] {

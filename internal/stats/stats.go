@@ -56,7 +56,7 @@ type Collector struct {
 
 	// shards holds the per-shard child collectors on the root; index 0 is
 	// the root itself. Empty for single-shard runs.
-	shards []*Collector
+	shards []*Collector //ckpt:skip sharding structure, rebuilt by ForShard; each child captures its own state
 }
 
 // NewCollector returns a collector with the given utilization bin width
@@ -112,6 +112,7 @@ func (c *Collector) Delivered(t sim.Time, bytes int64) {
 	}
 	bin := int(sim.Duration(t) / c.binWidth)
 	for len(c.bins) <= bin {
+		//lint:ignore hotalloc bin growth is bounded by run length / binWidth and amortized; the series is opt-in (binWidth 0 disables it)
 		c.bins = append(c.bins, 0)
 	}
 	c.bins[bin] += bytes
